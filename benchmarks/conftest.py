@@ -1,0 +1,59 @@
+"""Shared configuration for the figure-regeneration benchmarks.
+
+Each benchmark module regenerates one paper artifact (figure or table),
+prints the paper-style series, persists JSON under ``results/``, and
+times a representative unit of the pipeline with pytest-benchmark.
+
+Sizes here are laptop-scaled (see DESIGN.md §2 and
+``repro.bench.workloads``); set ``REPRO_PAPER_SCALE=1`` for the paper's
+exact sizes (hours of runtime).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workloads import Workload
+
+#: Medium sizes: large enough that simulated-scaling shapes are stable,
+#: small enough that the whole benchmark suite runs in a few minutes.
+BENCH_WORKLOADS = {
+    "n6": Workload(
+        name="n6", n=6, k=4000, paper_n=6, paper_k=5_000_000
+    ),
+    "n48": Workload(
+        name="n48", n=48, k=400, paper_n=48, paper_k=100_000
+    ),
+    "n500": Workload(
+        name="n500", n=64, k=300, paper_n=500, paper_k=500,
+        paper_block_size=1,
+    ),
+}
+
+
+@pytest.fixture(scope="session")
+def bench_workloads():
+    return BENCH_WORKLOADS
+
+
+@pytest.fixture(scope="session")
+def graph_cache():
+    """Recorded task graphs shared across benchmarks in one session.
+
+    Recording runs the full algorithm numerically; caching one graph
+    per (variant, workload) keeps the suite fast while every figure
+    still simulates from real recorded costs.
+    """
+    from repro.bench.figures import record_graph
+
+    cache: dict = {}
+
+    def get(variant: str, workload: Workload):
+        key = (variant, *workload.effective, workload.block_size)
+        if key not in cache:
+            cache[key] = record_graph(
+                variant, workload.build(), workload.block_size
+            )
+        return cache[key]
+
+    return get

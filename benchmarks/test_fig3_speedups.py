@@ -1,0 +1,60 @@
+"""Figure 3: speedups of the parallel smoothers.
+
+Ratios are relative to the same implementation on one core, exactly as
+the paper plots them.  Anchors from the paper: Odd-Even reaches ~40x
+(n=6) and ~47x (n=48) on the 64-core Graviton3; the Xeon caps near
+15-20x and stagnates beyond one socket; Odd-Even scales at least as
+well as Associative.
+"""
+
+import pytest
+
+from repro.bench.figures import PARALLEL_VARIANTS, fig3_speedups
+from repro.bench.harness import format_series_table, save_results
+from repro.bench.workloads import core_counts_for
+from repro.parallel.machine import GOLD_6238R, GRAVITON3
+from repro.parallel.scheduler import greedy_schedule
+
+MACHINES = {"Graviton3": GRAVITON3, "Gold-6238R": GOLD_6238R}
+
+
+@pytest.mark.benchmark(group="fig3")
+@pytest.mark.parametrize("machine_name", list(MACHINES))
+@pytest.mark.parametrize("workload_name", ["n6", "n48"])
+def test_fig3_panel(
+    benchmark, machine_name, workload_name, bench_workloads, graph_cache
+):
+    machine = MACHINES[machine_name]
+    workload = bench_workloads[workload_name]
+    cores = core_counts_for(machine)
+    times = {}
+    for variant in PARALLEL_VARIANTS:
+        graph = graph_cache(variant, workload)
+        times[variant] = {
+            p: greedy_schedule(graph, machine, p).seconds for p in cores
+        }
+    speedups = benchmark(fig3_speedups, times)
+
+    print(
+        "\n"
+        + format_series_table(
+            f"Figure 3 — {machine_name}, {workload.label()} (speedup "
+            "vs same implementation on 1 core)",
+            "cores",
+            cores,
+            speedups,
+            unit="x",
+            fmt="{:.2f}",
+        )
+    )
+    save_results(f"fig3_{machine_name}_{workload_name}", speedups)
+
+    oe = speedups["Odd-Even"]
+    if machine_name == "Graviton3":
+        # ARM: monotone, substantial scaling (paper: up to 47x).
+        values = [oe[p] for p in cores]
+        assert all(b >= a - 0.5 for a, b in zip(values, values[1:]))
+        assert oe[64] > 25
+    else:
+        # Xeon: caps well below the ARM box.
+        assert oe[56] < 30

@@ -1,0 +1,76 @@
+"""Figure 5: run-time distributions under randomized work stealing.
+
+The paper runs the Odd-Even smoother 100 times on the Xeon and
+histograms the times: the spread is ~13% of the median at 28 cores but
+only ~1.5% on one core (and ±2.4% at 64 cores on the Graviton3) — the
+randomized scheduler's footprint.  We replay the recorded graph through
+the seeded work-stealing scheduler 100 times per configuration.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import ascii_curve, save_results
+from repro.parallel.machine import GOLD_6238R, GRAVITON3
+from repro.parallel.scheduler import work_stealing_schedule
+
+
+def distribution(graph, machine, cores, runs=100, seed=0):
+    rng = np.random.default_rng(seed)
+    times = np.array(
+        [
+            work_stealing_schedule(
+                graph, machine, cores, seed=rng.integers(2**31)
+            ).seconds
+            for _ in range(runs)
+        ]
+    )
+    med = float(np.median(times))
+    return times, med, float(100 * np.max(np.abs(times - med)) / med)
+
+
+def histogram(times, med, bins=13):
+    """ASCII histogram over a ±10%-of-median span (paper's 20% span)."""
+    lo, hi = 0.9 * med, 1.1 * med
+    counts, edges = np.histogram(times, bins=bins, range=(lo, hi))
+    return ascii_curve(
+        {f"{100 * (e / med - 1):+.1f}%": int(c) for e, c in zip(edges, counts)},
+        label="deviation from median -> runs",
+    )
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_variability(benchmark, bench_workloads, graph_cache):
+    workload = bench_workloads["n6"]
+    graph = graph_cache("Odd-Even", workload)
+
+    results = {}
+    for machine, cores_points in (
+        (GOLD_6238R, (1, 28)),
+        (GRAVITON3, (1, 64)),
+    ):
+        for p in cores_points:
+            times, med, dev = distribution(graph, machine, p)
+            results[f"{machine.name}/p{p}"] = {
+                "median_s": med,
+                "max_deviation_pct": dev,
+            }
+            print(
+                f"\nFigure 5 — {machine.name}, {p} cores: median "
+                f"{med * 1e3:.3f} ms, max deviation ±{dev:.2f}%"
+            )
+            print(histogram(times, med))
+    save_results("fig5", results)
+
+    # Paper's qualitative claims: multicore spread far exceeds the
+    # single-core spread; 1-core spread is ~1%.
+    assert (
+        results["Gold-6238R/p28"]["max_deviation_pct"]
+        > 3 * results["Gold-6238R/p1"]["max_deviation_pct"]
+    )
+    assert results["Gold-6238R/p1"]["max_deviation_pct"] < 2.0
+    assert results["Graviton3/p64"]["max_deviation_pct"] < 8.0
+
+    benchmark(
+        work_stealing_schedule, graph, GOLD_6238R, 28, 1234
+    )

@@ -1,0 +1,51 @@
+"""Figure 6 (left): Odd-Even time on all cores vs TBB block size.
+
+Paper shape (n=6, k=5,000,000, 64 cores): performance is roughly flat
+from block size 1 up to ~1,000 and degrades badly from ~5,000 upward as
+parallelism starves.  At a laptop-scaled k the knee appears at
+proportionally smaller block sizes (the controlling quantity is
+tasks-per-core = k / (block * p)); the flat-then-rising shape is the
+reproduction target.
+"""
+
+import pytest
+
+from repro.bench.figures import record_graph
+from repro.bench.harness import format_series_table, save_results
+from repro.parallel.machine import GRAVITON3
+from repro.parallel.scheduler import greedy_schedule
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_blocksize(benchmark, bench_workloads):
+    workload = bench_workloads["n6"]
+    problem = workload.build()
+    _n, k = workload.effective
+    block_sizes = [b for b in (1, 4, 16, 64, 256, 1024, 4 * k) if b <= 4 * k]
+
+    times = {}
+    for bs in block_sizes:
+        graph = record_graph("Odd-Even", problem, block_size=bs)
+        times[bs] = greedy_schedule(graph, GRAVITON3, 64).seconds
+
+    print(
+        "\n"
+        + format_series_table(
+            f"Figure 6 left — Odd-Even on 64 Graviton3 cores, "
+            f"{workload.label()}, vs block size",
+            "block",
+            block_sizes,
+            {"Odd-Even": times},
+        )
+    )
+    save_results("fig6_left", {str(b): t for b, t in times.items()})
+
+    # Shape: small block sizes within ~2x of each other (flat region);
+    # a block size that swallows the whole array starves the machine.
+    assert times[4] < 2.0 * times[1]
+    assert times[4 * k] > 4.0 * times[1]
+    # Monotone degradation from the knee onward.
+    tail = [times[b] for b in block_sizes if b >= 64]
+    assert all(a <= b + 1e-9 for a, b in zip(tail, tail[1:]))
+
+    benchmark(record_graph, "Odd-Even", problem, 16)

@@ -1,0 +1,95 @@
+"""The §1/§5.4 work-overhead table, in counted flops AND real seconds.
+
+Paper numbers: the parallel Odd-Even algorithm performs 1.8-2.5x the
+arithmetic of sequential Paige–Saunders (1.8-2.0x for the NC variants);
+the Associative algorithm performs 1.8-2.7x the arithmetic of the
+conventional Kalman (RTS) smoother.  Flop counts are exact here (every
+kernel is instrumented); the wall-clock benchmarks measure the same
+algorithms on this host's single core, where the paper predicts the
+sequential algorithms win (§6: "the sequential variants are faster on
+small numbers of cores").
+"""
+
+import pytest
+
+from repro.bench.harness import save_results
+from repro.core.smoother import OddEvenSmoother
+from repro.kalman.associative import AssociativeSmoother
+from repro.kalman.paige_saunders import PaigeSaundersSmoother
+from repro.kalman.rts import RTSSmoother
+from repro.parallel.tally import measure_flops
+
+SMOOTHERS = {
+    "Odd-Even": lambda p: OddEvenSmoother().smooth(p),
+    "Odd-Even NC": lambda p: OddEvenSmoother(
+        compute_covariance=False
+    ).smooth(p),
+    "Associative": lambda p: AssociativeSmoother().smooth(p),
+    "Paige-Saunders": lambda p: PaigeSaundersSmoother().smooth(p),
+    "Paige-Saunders NC": lambda p: PaigeSaundersSmoother(
+        compute_covariance=False
+    ).smooth(p),
+    "Kalman": lambda p: RTSSmoother().smooth(p),
+}
+
+
+@pytest.fixture(scope="module")
+def flop_table(bench_workloads):
+    table = {}
+    for name in ("n6", "n48"):
+        problem = bench_workloads[name].build()
+        flops = {
+            label: measure_flops(fn, problem)[1].flops
+            for label, fn in SMOOTHERS.items()
+        }
+        table[name] = flops
+    return table
+
+
+@pytest.mark.benchmark(group="overhead")
+def test_overhead_ratios(benchmark, flop_table, bench_workloads):
+    # Time the instrumented flop measurement itself on the smaller
+    # workload (keeps this target runnable under --benchmark-only).
+    problem = bench_workloads["n48"].build()
+    benchmark.pedantic(
+        measure_flops,
+        args=(SMOOTHERS["Kalman"], problem),
+        rounds=1,
+        iterations=1,
+    )
+    rows = {}
+    for name, flops in flop_table.items():
+        label = bench_workloads[name].label()
+        rows[label] = {
+            "odd-even / paige-saunders": flops["Odd-Even"]
+            / flops["Paige-Saunders"],
+            "odd-even-nc / paige-saunders-nc": flops["Odd-Even NC"]
+            / flops["Paige-Saunders NC"],
+            "associative / kalman": flops["Associative"] / flops["Kalman"],
+        }
+    print("\nWork-overhead ratios (counted flops):")
+    for label, ratios in rows.items():
+        for key, value in ratios.items():
+            print(f"  {label:16s} {key:34s} {value:.2f}x")
+    save_results("overhead_ratios", rows)
+
+    for ratios in rows.values():
+        # Paper bands, with modest slack for the scaled workloads.
+        assert 1.5 < ratios["odd-even / paige-saunders"] < 3.0
+        assert 1.5 < ratios["odd-even-nc / paige-saunders-nc"] < 3.0
+        assert 1.5 < ratios["associative / kalman"] < 3.5
+        # NC overhead is no worse than the full variant's.
+        assert (
+            ratios["odd-even-nc / paige-saunders-nc"]
+            <= ratios["odd-even / paige-saunders"] + 0.25
+        )
+
+
+@pytest.mark.benchmark(group="overhead-wallclock")
+@pytest.mark.parametrize("label", list(SMOOTHERS))
+def test_single_core_wall_clock(benchmark, label, bench_workloads):
+    """Real seconds for each smoother on this host (n=6 workload)."""
+    problem = bench_workloads["n6"].build()
+    fn = SMOOTHERS[label]
+    result = benchmark.pedantic(fn, args=(problem,), rounds=3, iterations=1)
+    assert len(result.means) == problem.n_states

@@ -1,0 +1,68 @@
+"""Nonlinear smoothing: the noisy pendulum with sin() observations.
+
+Shows the Gauss–Newton reduction the paper describes in §2.2: each
+iteration linearizes the model at the current trajectory and solves a
+*linear* Kalman smoothing problem with the Odd-Even smoother — in NC
+mode, because the inner solves never need covariances (the optimization
+the paper's NC variants exist for, §5.4).  Also runs the
+Levenberg–Marquardt variant (ref. [17]) and compares both against the
+extended Kalman filter initializer.
+
+Run:  python examples/nonlinear_pendulum.py
+"""
+
+import numpy as np
+
+from repro.model import pendulum_problem
+from repro.nonlinear import (
+    GaussNewtonSmoother,
+    LevenbergMarquardtSmoother,
+    extended_kalman_filter,
+)
+
+
+def rmse(estimates, truth) -> float:
+    return float(np.sqrt(np.mean((np.vstack(estimates) - truth) ** 2)))
+
+
+def main() -> None:
+    problem, truth = pendulum_problem(k=300, seed=11)
+    print(f"pendulum: {problem.k + 1} steps, state [angle, velocity]")
+
+    ekf_means = extended_kalman_filter(problem)
+    print(f"\nEKF (initializer)   RMSE: {rmse(ekf_means, truth):.4f}")
+
+    gn = GaussNewtonSmoother().smooth(problem)
+    print(
+        f"Gauss-Newton        RMSE: {rmse(gn.means, truth):.4f}  "
+        f"({gn.diagnostics['iterations']} iterations, "
+        f"converged={gn.diagnostics['converged']})"
+    )
+
+    lm = LevenbergMarquardtSmoother().smooth(problem)
+    print(
+        f"Levenberg-Marquardt RMSE: {rmse(lm.means, truth):.4f}  "
+        f"({lm.diagnostics['iterations']} iterations, "
+        f"final lambda={lm.diagnostics['final_lambda']:.2e})"
+    )
+
+    assert rmse(gn.means, truth) <= rmse(ekf_means, truth)
+
+    # Objective trace: each accepted LM step decreases the nonlinear
+    # least-squares objective (paper eq. 4).
+    trace = lm.diagnostics["trace"]
+    print("\nLM objective trace:")
+    for i, obj in enumerate(trace.objectives[:8]):
+        print(f"  iter {i}: {obj:.4f}")
+
+    # Covariances from the final linearization: 2-sigma band coverage
+    # of the true angle.
+    inside = sum(
+        abs(true[0] - mean[0]) <= 2 * np.sqrt(cov[0, 0])
+        for mean, cov, true in zip(gn.means, gn.covariances, truth)
+    )
+    print(f"\nangle 2-sigma coverage: {inside / len(truth):.1%}")
+
+
+if __name__ == "__main__":
+    main()

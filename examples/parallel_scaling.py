@@ -1,0 +1,61 @@
+"""Parallel scaling study: replay a real run on the paper's servers.
+
+Records the task graph of one Odd-Even smoother run (every QR, solve
+and SelInv operation with its measured flop/byte cost), then replays it
+on the calibrated Graviton3 (64 ARM cores) and Xeon Gold 6238R (2 x 28
+cores) machine models — the experiment behind the paper's Figures 2
+and 3, at laptop scale.
+
+Run:  python examples/parallel_scaling.py
+"""
+
+import numpy as np
+
+import repro
+from repro.bench import ascii_curve
+from repro.parallel import (
+    GOLD_6238R,
+    GRAVITON3,
+    RecordingBackend,
+    greedy_schedule,
+)
+
+
+def main() -> None:
+    problem = repro.random_orthonormal_problem(n=6, k=8000, seed=1)
+    print(f"recording one Odd-Even run on {problem} ...")
+
+    backend = RecordingBackend(block_size=1)
+    repro.OddEvenSmoother().smooth(problem, backend=backend)
+    graph = backend.graph
+    print(
+        f"recorded {graph.n_tasks} tasks in {len(graph.phases)} phases; "
+        f"work {graph.work_flops / 1e9:.2f} Gflop, "
+        f"flop-parallelism {graph.parallelism():.0f}"
+    )
+
+    for machine in (GRAVITON3, GOLD_6238R):
+        cores = [p for p in (1, 2, 4, 8, 16, 28, 32, 56, 64)
+                 if p <= machine.cores]
+        times = {p: greedy_schedule(graph, machine, p).seconds
+                 for p in cores}
+        speedups = {p: times[1] / times[p] for p in cores}
+        print(f"\n{machine.name} ({machine.cores} cores, "
+              f"{machine.sockets} socket(s)):")
+        print(ascii_curve(speedups, label="  cores -> speedup"))
+
+    # The work-stealing scheduler's run-to-run footprint (Fig 5).
+    from repro.parallel import work_stealing_schedule
+
+    times = np.array([
+        work_stealing_schedule(graph, GOLD_6238R, 28, seed=s).seconds
+        for s in range(50)
+    ])
+    med = np.median(times)
+    print(f"\nwork-stealing on 28 Xeon cores, 50 runs: median "
+          f"{med * 1e3:.2f} ms, spread ±"
+          f"{100 * np.max(np.abs(times - med)) / med:.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Streaming estimation with the incremental UltimateKalman API.
+
+The paper's base implementation [9] exposes an online API: advance the
+timeline step by step (``evolve``/``observe``), query filtered
+estimates in real time, and smooth the whole batch afterwards.  This
+example streams a constant-velocity track through that API — including
+a sensor outage — and then post-processes with the Odd-Even smoother,
+showing how the smoothed trajectory cleans up what the filter estimated
+under the outage.
+
+Run:  python examples/streaming_filter.py
+"""
+
+import numpy as np
+
+from repro.kalman import UltimateKalman
+
+
+def main() -> None:
+    rng = np.random.default_rng(5)
+    dt, k = 0.1, 120
+    f = np.array([[1.0, dt], [0.0, 1.0]])
+    q = 0.02 * np.array([[dt**3 / 3, dt**2 / 2], [dt**2 / 2, dt]])
+    g = np.array([[1.0, 0.0]])
+    r = 0.3
+
+    # Ground truth.
+    truth = np.zeros((k + 1, 2))
+    truth[0] = [0.0, 1.0]
+    chol = np.linalg.cholesky(q + 1e-15 * np.eye(2))
+    for i in range(1, k + 1):
+        truth[i] = f @ truth[i - 1] + chol @ rng.standard_normal(2)
+
+    outage = range(50, 75)  # the sensor goes dark here
+    kalman = UltimateKalman(state_dim=2, prior=(truth[0], np.eye(2)))
+
+    filtered = []
+    for i in range(k + 1):
+        if i > 0:
+            kalman.evolve(f, K=q + 1e-12 * np.eye(2))
+        if i not in outage:
+            obs = g @ truth[i] + np.sqrt(r) * rng.standard_normal(1)
+            kalman.observe(g, obs, r * np.eye(1))
+        mean, cov = kalman.estimate()  # available online at every step
+        filtered.append((mean.copy(), cov.copy()))
+
+    smoothed = kalman.smooth()
+
+    def rmse(estimates):
+        return float(
+            np.sqrt(np.mean((np.vstack(estimates) - truth) ** 2))
+        )
+
+    print(f"steps: {k + 1}, sensor outage: steps {outage.start}-"
+          f"{outage.stop - 1}")
+    print(f"filtered RMSE: {rmse([m for m, _c in filtered]):.4f}")
+    print(f"smoothed RMSE: {rmse(smoothed.means):.4f}")
+
+    # During the outage the filter's position uncertainty balloons;
+    # the smoother, which also sees post-outage data, stays tight.
+    mid = (outage.start + outage.stop) // 2
+    filt_sigma = float(np.sqrt(filtered[mid][1][0, 0]))
+    smooth_sigma = float(np.sqrt(smoothed.covariances[mid][0, 0]))
+    print(f"\nposition sigma at outage midpoint (step {mid}):")
+    print(f"  filter  : {filt_sigma:.3f}")
+    print(f"  smoother: {smooth_sigma:.3f}")
+    assert smooth_sigma < filt_sigma
+    assert rmse(smoothed.means) < rmse([m for m, _c in filtered])
+
+
+if __name__ == "__main__":
+    main()

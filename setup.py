@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Allows legacy editable installs (``pip install -e .``) on machines
+without the ``wheel`` package (PEP 660 editable installs need it); all
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,108 @@
+"""repro — Parallel-in-Time Kalman Smoothing Using Orthogonal Transformations.
+
+A complete reproduction of Gargir & Toledo, IPDPS 2025
+(arXiv:2502.11686): the odd-even parallel QR Kalman smoother with
+SelInv covariance computation, the Paige–Saunders, RTS, and
+Särkkä–García-Fernández baselines, a TBB-like parallel runtime with
+calibrated machine simulation, and the full benchmark harness for every
+table and figure in the paper's evaluation.
+
+Quickstart::
+
+    import repro
+
+    problem = repro.random_orthonormal_problem(n=6, k=1000, seed=0)
+    result = repro.OddEvenSmoother().smooth(problem)
+    print(result.means[0], result.covariances[0])
+"""
+
+from .core import (
+    NormalEquationsSmoother,
+    OddEvenR,
+    OddEvenSmoother,
+    oddeven_back_substitute,
+    oddeven_factorize,
+    selinv_bidiagonal,
+    selinv_oddeven,
+)
+from .kalman import (
+    AssociativeSmoother,
+    KalmanFilter,
+    PaigeSaundersSmoother,
+    RTSSmoother,
+    SmootherResult,
+    UltimateKalman,
+)
+from .model import (
+    Evolution,
+    GaussianPrior,
+    NonlinearProblem,
+    Observation,
+    StateSpaceProblem,
+    Step,
+    constant_velocity_problem,
+    dense_covariance,
+    dense_solve,
+    pendulum_problem,
+    random_orthonormal_problem,
+    random_problem,
+    tracking_2d_problem,
+)
+from .parallel import (
+    E5_2699V3,
+    GOLD_6238R,
+    GRAVITON3,
+    RecordingBackend,
+    SerialBackend,
+    ThreadPoolBackend,
+    greedy_schedule,
+    work_stealing_schedule,
+)
+
+__version__ = "1.0.0"
+
+ALL_SMOOTHERS = {
+    "odd-even": OddEvenSmoother,
+    "paige-saunders": PaigeSaundersSmoother,
+    "kalman-rts": RTSSmoother,
+    "associative": AssociativeSmoother,
+}
+
+__all__ = [
+    "NormalEquationsSmoother",
+    "OddEvenR",
+    "OddEvenSmoother",
+    "oddeven_back_substitute",
+    "oddeven_factorize",
+    "selinv_bidiagonal",
+    "selinv_oddeven",
+    "AssociativeSmoother",
+    "KalmanFilter",
+    "PaigeSaundersSmoother",
+    "RTSSmoother",
+    "SmootherResult",
+    "UltimateKalman",
+    "Evolution",
+    "GaussianPrior",
+    "NonlinearProblem",
+    "Observation",
+    "StateSpaceProblem",
+    "Step",
+    "constant_velocity_problem",
+    "dense_covariance",
+    "dense_solve",
+    "pendulum_problem",
+    "random_orthonormal_problem",
+    "random_problem",
+    "tracking_2d_problem",
+    "RecordingBackend",
+    "SerialBackend",
+    "ThreadPoolBackend",
+    "GRAVITON3",
+    "GOLD_6238R",
+    "E5_2699V3",
+    "greedy_schedule",
+    "work_stealing_schedule",
+    "ALL_SMOOTHERS",
+    "__version__",
+]

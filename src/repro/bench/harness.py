@@ -1,0 +1,101 @@
+"""Timing, table and series utilities shared by all benchmark targets.
+
+The paper reports medians of 5 runs (§5.4) and plots time-vs-cores and
+speedup-vs-cores series; this module provides the measurement loop, the
+ASCII renderings of those series, and JSON persistence under
+``results/`` so EXPERIMENTS.md can cite stable numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "median_time",
+    "format_series_table",
+    "ascii_curve",
+    "save_results",
+    "results_dir",
+]
+
+
+def median_time(fn, repeats: int = 5, *args, **kwargs) -> float:
+    """Median wall-clock seconds of ``repeats`` runs (paper §5.4)."""
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn(*args, **kwargs)
+        times.append(time.perf_counter() - t0)
+    return float(np.median(times))
+
+
+def format_series_table(
+    title: str,
+    x_label: str,
+    x_values: list,
+    series: dict[str, dict],
+    unit: str = "s",
+    fmt: str = "{:.4g}",
+) -> str:
+    """Render ``{series name: {x: y}}`` as a paper-style table."""
+    lines = [title, ""]
+    name_w = max([len(x_label)] + [len(n) for n in series]) + 2
+    header = f"{x_label:<{name_w}}" + "".join(
+        f"{str(x):>12}" for x in x_values
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, values in series.items():
+        row = f"{name:<{name_w}}"
+        for x in x_values:
+            v = values.get(x)
+            row += f"{'-':>12}" if v is None else f"{fmt.format(v):>12}"
+        lines.append(row)
+    lines.append(f"(values in {unit})")
+    return "\n".join(lines)
+
+
+def ascii_curve(
+    values: dict, width: int = 48, label: str = ""
+) -> str:
+    """One-line-per-point bar chart for quick visual shape checks."""
+    if not values:
+        return f"{label}: (no data)"
+    vmax = max(values.values())
+    lines = [label] if label else []
+    for x, v in values.items():
+        bar = "#" * max(1, int(round(width * v / vmax))) if vmax > 0 else ""
+        lines.append(f"{str(x):>8} | {bar} {v:.3g}")
+    return "\n".join(lines)
+
+
+def results_dir() -> Path:
+    """``results/`` next to the repository root (created on demand)."""
+    here = Path(__file__).resolve()
+    for parent in here.parents:
+        if (parent / "pyproject.toml").exists():
+            d = parent / "results"
+            d.mkdir(exist_ok=True)
+            return d
+    d = Path.cwd() / "results"
+    d.mkdir(exist_ok=True)
+    return d
+
+
+def save_results(name: str, data) -> Path:
+    """Persist a benchmark's data as ``results/<name>.json``."""
+
+    def default(obj):
+        if isinstance(obj, (np.floating, np.integer)):
+            return obj.item()
+        if isinstance(obj, np.ndarray):
+            return obj.tolist()
+        raise TypeError(f"cannot serialize {type(obj)}")
+
+    path = results_dir() / f"{name}.json"
+    path.write_text(json.dumps(data, indent=2, default=default))
+    return path

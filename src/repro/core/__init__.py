@@ -1,0 +1,29 @@
+"""The paper's contribution: odd-even QR smoothing with SelInv covariances."""
+
+from .normal_equations import NormalEquationsSmoother, build_normal_equations
+from .oddeven_qr import oddeven_factorize
+from .orthogonal_cov import (
+    covariance_factors_orthogonal,
+    covariances_orthogonal,
+)
+from .rfactor import BidiagonalR, OddEvenR, RBlockRow
+from .selinv import SelInvResult, selinv_bidiagonal, selinv_oddeven
+from .smoother import OddEvenSmoother
+from .solve import oddeven_back_substitute, square_diag
+
+__all__ = [
+    "NormalEquationsSmoother",
+    "build_normal_equations",
+    "oddeven_factorize",
+    "covariance_factors_orthogonal",
+    "covariances_orthogonal",
+    "BidiagonalR",
+    "OddEvenR",
+    "RBlockRow",
+    "SelInvResult",
+    "selinv_bidiagonal",
+    "selinv_oddeven",
+    "OddEvenSmoother",
+    "oddeven_back_substitute",
+    "square_diag",
+]

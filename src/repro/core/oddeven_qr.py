@@ -1,0 +1,390 @@
+"""The odd-even parallel QR factorization of Kalman matrices (paper §3).
+
+The whitened least-squares matrix ``U A`` is block bidiagonal in block
+columns: column ``i`` holds the observation rows ``C_i`` and couples to
+column ``i-1`` through the evolution rows ``[-B_i  D_i]``.  The
+algorithm recursively permutes even block columns first and eliminates
+them with three batches of small independent QR factorizations per
+recursion level:
+
+* **Stage A** — for each even column ``i``: factor the last two block
+  rows ``[C_i; -B_{i+1}]`` and apply ``Q^T`` to ``[0; D_{i+1}]``,
+  producing ``R~_i``, fill ``X_i`` and remnant ``D~_{i+1}``.
+* **Stage B** — for each even column ``i >= 2``: factor ``[D_i; R~_i]``
+  and apply ``Q^T`` to the coupled blocks, producing the permanent
+  block row ``(R_i, -B~_i, Y_i)`` of the factor plus leftover rows
+  ``(Z_i, X~_i)`` that become the next level's evolution rows between
+  odd columns ``i-1`` and ``i+1``.  Column 0 has no ``D_0`` and skips
+  this stage (``R_0 = R~_0``).
+* **Stage C** — for each odd column ``j``: factor ``[D~_j; C_j]`` into
+  ``C~_j``, restoring the row-count invariant; ``C~_j`` is the next
+  level's observation block.
+
+The right-hand side rides through every ``Q^T`` application; rows whose
+coefficients become identically zero contribute their squared RHS to
+the least-squares residual.  Work is ``Theta(k n^3)`` and the critical
+path ``Theta(log k * n log n)`` (paper §3.3); every stage is a
+``parallel_for`` over disjoint block-row pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..linalg.householder import QRFactor
+from ..model.problem import StateSpaceProblem, WhitenedProblem
+from ..parallel.backend import Backend, SerialBackend
+from .rfactor import OddEvenR, RBlockRow
+
+__all__ = ["oddeven_factorize", "OddEvenLevelStats"]
+
+
+@dataclass
+class _EvoRows:
+    """Evolution-like rows coupling a column to its left neighbour.
+
+    ``nb`` is the block as it appears in the matrix (i.e. ``-B``); no
+    sign bookkeeping is ever needed because Stage B leftovers are
+    already in as-it-appears form.
+    """
+
+    nb: np.ndarray
+    d: np.ndarray
+    rhs: np.ndarray
+
+    @classmethod
+    def empty(cls, n_left: int, n_right: int) -> "_EvoRows":
+        return cls(
+            nb=np.zeros((0, n_left)),
+            d=np.zeros((0, n_right)),
+            rhs=np.zeros(0),
+        )
+
+    @property
+    def rows(self) -> int:
+        return self.nb.shape[0]
+
+
+@dataclass
+class _Column:
+    """One block column at some recursion level."""
+
+    orig: int
+    n: int
+    c: np.ndarray
+    rhs_c: np.ndarray
+
+
+@dataclass
+class _StageA:
+    rtil: np.ndarray
+    rhs: np.ndarray
+    x: np.ndarray | None
+    dtil: np.ndarray | None
+    dtil_rhs: np.ndarray | None
+    residual_sq: float
+
+
+@dataclass
+class _StageB:
+    row: RBlockRow
+    new_evo: _EvoRows | None
+    extra_obs: tuple[np.ndarray, np.ndarray] | None
+
+
+@dataclass
+class OddEvenLevelStats:
+    """Per-level diagnostics exposed on the returned factor."""
+
+    level: int
+    columns: int
+    evens: int
+    odds: int
+
+
+def _stage_a(col: _Column, evo_next: _EvoRows | None) -> _StageA:
+    """Factor ``[C_i; -B_{i+1}]`` and push ``Q^T`` through ``[0; D_{i+1}]``."""
+    n = col.n
+    if evo_next is None:
+        # Last even column: only its observation rows participate.
+        rows = col.c.shape[0]
+        if rows == 0:
+            return _StageA(
+                np.zeros((0, n)), np.zeros(0), None, None, None, 0.0
+            )
+        qf = QRFactor(col.c)
+        qtr = qf.apply_qt(col.rhs_c)
+        ncap = min(n, rows)
+        resid = float(qtr[ncap:] @ qtr[ncap:])
+        return _StageA(qf.r, qtr[:ncap], None, None, None, resid)
+    n_right = evo_next.d.shape[1]
+    pivot = np.vstack([col.c, evo_next.nb])
+    coupled = np.vstack(
+        [np.zeros((col.c.shape[0], n_right)), evo_next.d]
+    )
+    rhs = np.concatenate([col.rhs_c, evo_next.rhs])
+    qf = QRFactor(pivot)
+    applied = qf.apply_qt(np.column_stack([coupled, rhs]))
+    ncap = min(n, pivot.shape[0])
+    return _StageA(
+        rtil=qf.r,
+        rhs=applied[:ncap, -1],
+        x=applied[:ncap, :n_right],
+        dtil=applied[ncap:, :n_right],
+        dtil_rhs=applied[ncap:, -1],
+        residual_sq=0.0,
+    )
+
+
+def _stage_b(
+    col: _Column,
+    evo_here: _EvoRows | None,
+    sa: _StageA,
+    left: _Column | None,
+    right: _Column | None,
+    level_idx: int,
+) -> _StageB:
+    """Factor ``[D_i; R~_i]``; emit the permanent block row of ``R``."""
+    n = col.n
+    if evo_here is None:
+        # Column 0 of the level: R_0 = R~_0 with its Stage-A fill.
+        offdiag = []
+        if sa.x is not None and right is not None:
+            offdiag.append((right.orig, sa.x))
+        row = RBlockRow(
+            col=col.orig, diag=sa.rtil, offdiag=offdiag, rhs=sa.rhs,
+            level=level_idx,
+        )
+        return _StageB(row=row, new_evo=None, extra_obs=None)
+
+    assert left is not None
+    n_left = left.n
+    d_rows = evo_here.d.shape[0]
+    rt_rows = sa.rtil.shape[0]
+    pivot = np.vstack([evo_here.d, sa.rtil])
+    coupled_left = np.vstack([evo_here.nb, np.zeros((rt_rows, n_left))])
+    pieces = [coupled_left]
+    if sa.x is not None:
+        assert right is not None
+        coupled_right = np.vstack(
+            [np.zeros((d_rows, right.n)), sa.x]
+        )
+        pieces.append(coupled_right)
+    rhs = np.concatenate([evo_here.rhs, sa.rhs])
+    qf = QRFactor(pivot)
+    applied = qf.apply_qt(np.column_stack(pieces + [rhs]))
+    ncap = min(n, pivot.shape[0])
+    offdiag = [(left.orig, applied[:ncap, :n_left])]
+    if sa.x is not None:
+        offdiag.append(
+            (right.orig, applied[:ncap, n_left : n_left + right.n])
+        )
+    row = RBlockRow(
+        col=col.orig,
+        diag=qf.r,
+        offdiag=offdiag,
+        rhs=applied[:ncap, -1],
+        level=level_idx,
+    )
+    bottom_left = applied[ncap:, :n_left]
+    bottom_rhs = applied[ncap:, -1]
+    if sa.x is not None:
+        new_evo = _EvoRows(
+            nb=bottom_left,
+            d=applied[ncap:, n_left : n_left + right.n],
+            rhs=bottom_rhs,
+        )
+        return _StageB(row=row, new_evo=new_evo, extra_obs=None)
+    # Last even column: the leftover rows touch only the left odd
+    # neighbour — they become extra observation rows on it.
+    return _StageB(
+        row=row, new_evo=None, extra_obs=(bottom_left, bottom_rhs)
+    )
+
+
+def _stage_c(
+    col: _Column,
+    dtil: tuple[np.ndarray, np.ndarray] | None,
+    extra: tuple[np.ndarray, np.ndarray] | None,
+) -> tuple[_Column, float]:
+    """Compress ``[D~_j; C_j]`` (plus any boundary extras) into ``C~_j``."""
+    n = col.n
+    pieces: list[np.ndarray] = []
+    rhs_pieces: list[np.ndarray] = []
+    if dtil is not None and dtil[0].shape[0] > 0:
+        pieces.append(dtil[0])
+        rhs_pieces.append(dtil[1])
+    if col.c.shape[0] > 0:
+        pieces.append(col.c)
+        rhs_pieces.append(col.rhs_c)
+    if extra is not None and extra[0].shape[0] > 0:
+        pieces.append(extra[0])
+        rhs_pieces.append(extra[1])
+    if not pieces:
+        return _Column(col.orig, n, np.zeros((0, n)), np.zeros(0)), 0.0
+    stacked = np.vstack(pieces)
+    rhs = np.concatenate(rhs_pieces)
+    rows = stacked.shape[0]
+    if rows <= n:
+        # Already within the row-count invariant; QR would only rotate.
+        qf = QRFactor(stacked)
+        qtr = qf.apply_qt(rhs)
+        return _Column(col.orig, n, qf.r, qtr), 0.0
+    qf = QRFactor(stacked)
+    qtr = qf.apply_qt(rhs)
+    resid = float(qtr[n:] @ qtr[n:])
+    return _Column(col.orig, n, qf.r, qtr[:n]), resid
+
+
+def oddeven_factorize(
+    problem: StateSpaceProblem | WhitenedProblem,
+    backend: Backend | None = None,
+) -> OddEvenR:
+    """Compute the odd-even factorization ``Q R = U A P`` with ``Q^T U b``.
+
+    Parameters
+    ----------
+    problem:
+        A :class:`~repro.model.problem.StateSpaceProblem` (whitened
+        internally) or an already-whitened problem.
+    backend:
+        Execution backend; each stage of each level is one
+        ``parallel_for`` over its even (or odd) columns.  Defaults to
+        the serial backend.
+
+    Returns
+    -------
+    OddEvenR
+        The triangular factor with transformed right-hand side,
+        elimination levels, and the accumulated least-squares residual.
+    """
+    if backend is None:
+        backend = SerialBackend()
+    white = (
+        problem.whiten()
+        if isinstance(problem, StateSpaceProblem)
+        else problem
+    )
+    columns = [
+        _Column(orig=ws.index, n=ws.n, c=ws.C, rhs_c=ws.rhs_C)
+        for ws in white.steps
+    ]
+    evos: list[_EvoRows | None] = [None]
+    for ws in white.steps[1:]:
+        evos.append(_EvoRows(nb=-ws.B, d=ws.D, rhs=ws.rhs_BD))
+
+    factor = OddEvenR(dims=[c.n for c in columns])
+    level_idx = 0
+    residual = 0.0
+
+    while len(columns) > 1:
+        kk = len(columns) - 1
+        evens = list(range(0, kk + 1, 2))
+        odds = list(range(1, kk + 1, 2))
+
+        sa_results = backend.map(
+            evens,
+            lambda e: _stage_a(
+                columns[e], evos[e + 1] if e + 1 <= kk else None
+            ),
+            phase=f"oddeven/L{level_idx}/stageA",
+        )
+        sa_by_pos = dict(zip(evens, sa_results))
+        residual += sum(sa.residual_sq for sa in sa_results)
+
+        sb_results = backend.map(
+            evens,
+            lambda e: _stage_b(
+                columns[e],
+                evos[e] if e > 0 else None,
+                sa_by_pos[e],
+                columns[e - 1] if e > 0 else None,
+                columns[e + 1] if e + 1 <= kk else None,
+                level_idx,
+            ),
+            phase=f"oddeven/L{level_idx}/stageB",
+        )
+        sb_by_pos = dict(zip(evens, sb_results))
+
+        dtil_by_odd: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        for e in evens:
+            sa = sa_by_pos[e]
+            if sa.dtil is not None:
+                dtil_by_odd[e + 1] = (sa.dtil, sa.dtil_rhs)
+        extra_by_odd: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        for e in evens:
+            sb = sb_by_pos[e]
+            if sb.extra_obs is not None:
+                extra_by_odd[e - 1] = sb.extra_obs
+
+        sc_results = backend.map(
+            odds,
+            lambda o: _stage_c(
+                columns[o], dtil_by_odd.get(o), extra_by_odd.get(o)
+            ),
+            phase=f"oddeven/L{level_idx}/stageC",
+        )
+
+        factor.levels.append([columns[e].orig for e in evens])
+        for e in evens:
+            row = sb_by_pos[e].row
+            factor.rows[row.col] = row
+
+        new_columns = [c for c, _resid in sc_results]
+        residual += sum(r for _c, r in sc_results)
+        new_evos: list[_EvoRows | None] = [None]
+        for t, e in enumerate(evens[1:], start=1):
+            evo = sb_by_pos[e].new_evo
+            if evo is None and t < len(new_columns):
+                evo = _EvoRows.empty(
+                    new_columns[t - 1].n, new_columns[t].n
+                )
+            if t < len(new_columns):
+                new_evos.append(evo)
+        columns = new_columns
+        evos = new_evos
+        level_idx += 1
+
+    # Base case: a single remaining column.
+    base = columns[0]
+
+    def _base_task(_i: int):
+        n = base.n
+        rows = base.c.shape[0]
+        if rows == 0:
+            return (
+                RBlockRow(
+                    col=base.orig,
+                    diag=np.zeros((0, n)),
+                    offdiag=[],
+                    rhs=np.zeros(0),
+                    level=level_idx,
+                ),
+                0.0,
+            )
+        qf = QRFactor(base.c)
+        qtr = qf.apply_qt(base.rhs_c)
+        ncap = min(n, rows)
+        resid = float(qtr[ncap:] @ qtr[ncap:])
+        return (
+            RBlockRow(
+                col=base.orig,
+                diag=qf.r,
+                offdiag=[],
+                rhs=qtr[:ncap],
+                level=level_idx,
+            ),
+            resid,
+        )
+
+    base_results = backend.map(
+        [0], _base_task, phase=f"oddeven/L{level_idx}/base"
+    )
+    row, resid = base_results[0]
+    factor.rows[row.col] = row
+    factor.levels.append([row.col])
+    residual += resid
+    factor.residual_sq = residual
+    return factor

@@ -1,0 +1,85 @@
+"""The original Paige–Saunders covariance algorithm (paper §2.2, §4).
+
+Before the SelInv adaptation, Paige and Saunders computed ``cov(u^_i)``
+"using a sequence of orthogonal transformations of the R factor" —
+elegant, but applicable only to the *bidiagonal* factor; the paper's §4
+opens by noting "there is no apparent way to extend it" to the odd-even
+factor, which is why SelInv exists.  We implement the original
+algorithm for the bidiagonal case: it serves as an independent oracle
+for SelInv Algorithm 1 and documents exactly what SelInv replaces.
+
+Derivation.  With ``R P^T u = z`` and ``z ~ N(0, I)``, write the
+covariance in factor form ``cov(u_i) = C_i C_i^T``.  The back
+substitution gives ``u_i = R_ii^{-1}(z_i - R_{i,i+1} u_{i+1})``, and
+``u_{i+1}`` is independent of ``z_i``, so
+
+    ``cov(u_i) = R_ii^{-1} [I | R_{i,i+1} C_{i+1}] [..]^T R_ii^{-T}``.
+
+An LQ factorization ``[I | R_{i,i+1} C_{i+1}] = [L 0] Q^T`` compresses
+the widening factor back to ``n`` columns *orthogonally* — no squaring,
+no loss of accuracy — giving ``C_i = R_ii^{-1} L``.  One LQ and two
+triangular operations per step, backward in time: the same cost shape
+as SelInv Algorithm 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..linalg.householder import QRFactor
+from ..linalg.triangular import (
+    check_triangular_system,
+    instrumented_matmul,
+    solve_upper,
+)
+from .rfactor import BidiagonalR
+
+__all__ = ["covariance_factors_orthogonal", "covariances_orthogonal"]
+
+
+def covariance_factors_orthogonal(
+    factor: BidiagonalR,
+) -> list[np.ndarray]:
+    """Covariance factors ``C_i`` with ``cov(u^_i) = C_i C_i^T``.
+
+    Processes block rows backward; every step applies one orthogonal
+    compression (an LQ, computed as the QR of the transpose).
+    """
+    k = factor.k
+    out: list[np.ndarray | None] = [None] * (k + 1)
+    r_kk = factor.diag[k]
+    n_k = r_kk.shape[1]
+    if r_kk.shape[0] < n_k:
+        raise np.linalg.LinAlgError(
+            "final diagonal block is rank deficient"
+        )
+    check_triangular_system(r_kk[:n_k], what=f"R[{k},{k}]")
+    out[k] = solve_upper(r_kk[:n_k], np.eye(n_k))
+    for i in range(k - 1, -1, -1):
+        r_ii = factor.diag[i]
+        n = r_ii.shape[1]
+        if r_ii.shape[0] < n:
+            raise np.linalg.LinAlgError(
+                f"diagonal block {i} is rank deficient"
+            )
+        r_ii = r_ii[:n]
+        check_triangular_system(r_ii, what=f"R[{i},{i}]")
+        coupled = instrumented_matmul(
+            factor.offdiag[i][:n], out[i + 1]
+        )
+        wide = np.hstack([np.eye(n), coupled])
+        # LQ of `wide` via QR of its transpose: wide = (Q R)^T = L Q^T.
+        qf = QRFactor(wide.T)
+        ell = qf.r_square().T  # n x n lower triangular
+        out[i] = solve_upper(r_ii, ell)
+    return [c for c in out]  # type: ignore[return-value]
+
+
+def covariances_orthogonal(factor: BidiagonalR) -> list[np.ndarray]:
+    """The covariance matrices themselves, ``C_i C_i^T``."""
+    factors = covariance_factors_orthogonal(factor)
+    covs = []
+    for c in factors:
+        cov = instrumented_matmul(c, c.T)
+        covs.append(0.5 * (cov + cov.T))
+    return covs

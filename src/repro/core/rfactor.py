@@ -1,0 +1,188 @@
+"""Factor data structures produced by the QR smoothers.
+
+Two triangular factors appear in this codebase:
+
+* :class:`BidiagonalR` — the block-bidiagonal ``R`` of the sequential
+  Paige–Saunders factorization (diagonal blocks ``R_ii`` plus
+  superdiagonal blocks ``R_{i,i+1}``).
+* :class:`OddEvenR` — the recursively-structured ``R`` of the paper's
+  odd-even factorization (Fig 1): each block row has a pivot column,
+  up to two off-diagonal blocks in columns eliminated at *later*
+  levels, and the transformed right-hand side.
+
+Both factors satisfy ``R^T R = (U A P)^T (U A P)`` for their respective
+column permutation ``P`` and carry the accumulated residual of the
+least-squares problem (the squared RHS mass annihilated with zero
+coefficient rows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..linalg.blocks import BlockLayout
+
+__all__ = ["BidiagonalR", "RBlockRow", "OddEvenR"]
+
+
+@dataclass
+class BidiagonalR:
+    """Block-bidiagonal triangular factor (Paige–Saunders ordering)."""
+
+    diag: list[np.ndarray]
+    offdiag: list[np.ndarray]
+    rhs: list[np.ndarray]
+    residual_sq: float = 0.0
+
+    def __post_init__(self):
+        if len(self.offdiag) != max(len(self.diag) - 1, 0):
+            raise ValueError(
+                f"{len(self.diag)} diagonal blocks need "
+                f"{len(self.diag) - 1} superdiagonal blocks, got "
+                f"{len(self.offdiag)}"
+            )
+
+    @property
+    def k(self) -> int:
+        return len(self.diag) - 1
+
+    @property
+    def dims(self) -> list[int]:
+        return [d.shape[1] for d in self.diag]
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize the full upper-triangular factor (tests)."""
+        layout = BlockLayout.from_dims(self.dims)
+        out = np.zeros((layout.total, layout.total))
+        for i, d in enumerate(self.diag):
+            sl = layout.slice(i)
+            out[sl, sl] = d[: layout.dim(i), :]
+            if i < self.k:
+                out[sl, layout.slice(i + 1)] = self.offdiag[i][
+                    : layout.dim(i), :
+                ]
+        return out
+
+    def structure_rows(self) -> list[tuple[int, list[int]]]:
+        return [
+            (i, [i + 1] if i < self.k else [])
+            for i in range(len(self.diag))
+        ]
+
+
+@dataclass
+class RBlockRow:
+    """One block row of the odd-even factor.
+
+    ``col`` is the *original* block-column index of the pivot;
+    ``offdiag`` lists ``(original_column, block)`` pairs for columns
+    eliminated at deeper levels (so the factor is upper triangular in
+    elimination order); ``level`` records the recursion level at which
+    the row became permanent.
+    """
+
+    col: int
+    diag: np.ndarray
+    offdiag: list[tuple[int, np.ndarray]]
+    rhs: np.ndarray
+    level: int
+
+    @property
+    def n(self) -> int:
+        return self.diag.shape[1]
+
+    def offdiag_cols(self) -> list[int]:
+        return [c for c, _b in self.offdiag]
+
+
+@dataclass
+class OddEvenR:
+    """The recursive odd-even triangular factor ``R`` with ``Q^T U b``.
+
+    ``levels[l]`` lists the original columns eliminated at recursion
+    level ``l``; the last level holds the single base column.  The
+    elimination order (all levels concatenated) is the column
+    permutation ``P`` of the factorization ``Q R = U A P``.
+    """
+
+    rows: dict[int, RBlockRow] = field(default_factory=dict)
+    levels: list[list[int]] = field(default_factory=list)
+    dims: list[int] = field(default_factory=list)
+    residual_sq: float = 0.0
+
+    @property
+    def k(self) -> int:
+        return len(self.dims) - 1
+
+    @property
+    def order(self) -> list[int]:
+        """Elimination order of the original block columns."""
+        return [c for level in self.levels for c in level]
+
+    def depth(self) -> int:
+        """Number of recursion levels (``Theta(log k)``, §3.3)."""
+        return len(self.levels)
+
+    def row(self, col: int) -> RBlockRow:
+        return self.rows[col]
+
+    def structure_rows(self) -> list[tuple[int, list[int]]]:
+        """Structure description consumed by Fig 1 rendering."""
+        return [
+            (row.col, row.offdiag_cols()) for row in self.rows.values()
+        ]
+
+    def validate(self) -> None:
+        """Internal consistency checks (used by tests)."""
+        seen = sorted(self.order)
+        if seen != list(range(len(self.dims))):
+            raise AssertionError(
+                f"elimination order {self.order} is not a permutation of "
+                f"0..{len(self.dims) - 1}"
+            )
+        elim_pos = {c: i for i, c in enumerate(self.order)}
+        for col, row in self.rows.items():
+            if row.col != col:
+                raise AssertionError(f"row keyed {col} claims col {row.col}")
+            for other, block in row.offdiag:
+                if elim_pos[other] <= elim_pos[col]:
+                    raise AssertionError(
+                        f"row {col} references column {other} eliminated "
+                        "earlier: factor is not upper triangular"
+                    )
+                if block.shape != (row.diag.shape[0], self.dims[other]):
+                    raise AssertionError(
+                        f"row {col}: off-diagonal block to {other} has shape "
+                        f"{block.shape}"
+                    )
+
+    def to_dense(self) -> np.ndarray:
+        """The permuted factor as one dense upper-triangular matrix.
+
+        Rows and columns appear in elimination order, so the result is
+        genuinely upper triangular; tests verify
+        ``R^T R = (U A P)^T (U A P)``.
+        """
+        order = self.order
+        layout = BlockLayout.from_dims([self.dims[c] for c in order])
+        pos = {c: i for i, c in enumerate(order)}
+        out = np.zeros((layout.total, layout.total))
+        for col, row in self.rows.items():
+            i = pos[col]
+            rows_here = min(row.diag.shape[0], layout.dim(i))
+            sl = layout.slice(i)
+            out[sl, sl][:rows_here] = row.diag[:rows_here]
+            for other, block in row.offdiag:
+                out[sl, layout.slice(pos[other])][:rows_here] = block[
+                    :rows_here
+                ]
+        return out
+
+    def rhs_dense(self) -> np.ndarray:
+        """The transformed right-hand side in elimination order."""
+        return np.concatenate([self.rows[c].rhs for c in self.order])
+
+    def nonzero_blocks(self) -> int:
+        return sum(1 + len(r.offdiag) for r in self.rows.values())

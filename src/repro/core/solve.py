@@ -1,0 +1,77 @@
+"""Back substitution for the odd-even factor (paper §3.1).
+
+With the factorization ``Q R = U A P`` and transformed right-hand side
+``Q^T U b`` in hand, the smoothed trajectory solves
+``R P^T u = Q^T U b``.  The solve follows the recursion in reverse:
+the base column first, then each level's even columns *in parallel* —
+every even column's block row references only columns eliminated at
+deeper levels, whose states are already known.  Each column costs one
+or two small GEMVs plus one triangular solve.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..linalg.triangular import (
+    check_triangular_system,
+    instrumented_matmul,
+    solve_upper,
+)
+from ..parallel.backend import Backend, SerialBackend
+from .rfactor import OddEvenR, RBlockRow
+
+__all__ = ["oddeven_back_substitute", "square_diag"]
+
+
+def square_diag(row: RBlockRow) -> np.ndarray:
+    """The square triangular diagonal block of a row, validated.
+
+    Raises a descriptive error when the factorization left fewer than
+    ``n`` rows in the pivot — the least-squares problem does not
+    determine that state (rank deficiency at this column).
+    """
+    n = row.n
+    if row.diag.shape[0] < n:
+        raise np.linalg.LinAlgError(
+            f"block column {row.col} is rank deficient: only "
+            f"{row.diag.shape[0]} of {n} pivot rows survive; state "
+            f"{row.col} is not determined by the problem"
+        )
+    diag = row.diag[:n, :]
+    check_triangular_system(diag, what=f"R[{row.col},{row.col}]")
+    return diag
+
+
+def oddeven_back_substitute(
+    factor: OddEvenR, backend: Backend | None = None
+) -> list[np.ndarray]:
+    """Solve for all smoothed states from an odd-even factor.
+
+    Returns the states in natural (original) order.
+    """
+    if backend is None:
+        backend = SerialBackend()
+    states: list[np.ndarray | None] = [None] * len(factor.dims)
+
+    def solve_column(col: int) -> tuple[int, np.ndarray]:
+        row = factor.rows[col]
+        diag = square_diag(row)
+        rhs = row.rhs[: row.n].copy()
+        for other, block in row.offdiag:
+            contribution = instrumented_matmul(
+                block[: row.n, :], states[other]
+            )
+            rhs -= contribution
+        return col, solve_upper(diag, rhs)
+
+    for level_idx in reversed(range(len(factor.levels))):
+        cols = factor.levels[level_idx]
+        results = backend.map(
+            cols,
+            solve_column,
+            phase=f"oddeven/solve/L{level_idx}",
+        )
+        for col, u in results:
+            states[col] = u
+    return [s for s in states]  # type: ignore[return-value]

@@ -1,0 +1,41 @@
+"""Baseline smoothers: RTS, Paige–Saunders, and the associative scan."""
+
+from .associative import (
+    AssociativeSmoother,
+    FilteringElement,
+    SmoothingElement,
+    combine_filtering,
+    combine_smoothing,
+    make_filtering_element,
+    make_smoothing_element,
+)
+from .kf import FilterResult, KalmanFilter, kf_predict, kf_update
+from .paige_saunders import PaigeSaundersSmoother, paige_saunders_factorize
+from .result import SmootherResult
+from .rts import RTSSmoother
+from .srif import SquareRootInformationFilter, srif_filter
+from .standard_form import StandardStep, to_standard_form
+from .ultimate import UltimateKalman
+
+__all__ = [
+    "AssociativeSmoother",
+    "FilteringElement",
+    "SmoothingElement",
+    "combine_filtering",
+    "combine_smoothing",
+    "make_filtering_element",
+    "make_smoothing_element",
+    "FilterResult",
+    "KalmanFilter",
+    "kf_predict",
+    "kf_update",
+    "PaigeSaundersSmoother",
+    "paige_saunders_factorize",
+    "SmootherResult",
+    "RTSSmoother",
+    "SquareRootInformationFilter",
+    "srif_filter",
+    "StandardStep",
+    "to_standard_form",
+    "UltimateKalman",
+]

@@ -1,0 +1,107 @@
+"""The conventional (covariance-form) Kalman filter.
+
+The 1960 Kalman filter (paper ref. [1]) tracks the expectation and
+covariance of the state through predict/update recursions.  It is the
+forward half of the RTS smoother and supplies initial trajectories for
+the nonlinear solvers.  Updates use the Joseph-stabilized form, the
+numerically safest of the covariance-form variants (the paper's
+stability discussion in §6 is *relative to this family*: the QR-based
+smoothers avoid forming covariance products at all).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..linalg.cholesky import spd_solve
+from ..linalg.triangular import instrumented_matmul
+from ..model.problem import StateSpaceProblem
+from ..parallel.backend import Backend, SerialBackend
+from .standard_form import StandardStep, to_standard_form
+
+__all__ = ["FilterResult", "KalmanFilter", "kf_predict", "kf_update"]
+
+
+@dataclass
+class FilterResult:
+    """Filtered and one-step-predicted moments for every state."""
+
+    means: list[np.ndarray]
+    covariances: list[np.ndarray]
+    predicted_means: list[np.ndarray]
+    predicted_covariances: list[np.ndarray]
+
+    @property
+    def k(self) -> int:
+        return len(self.means) - 1
+
+
+def kf_predict(
+    m: np.ndarray, p: np.ndarray, step: StandardStep
+) -> tuple[np.ndarray, np.ndarray]:
+    """One prediction: ``m~ = F m + c``, ``P~ = F P F^T + Q``."""
+    m_pred = instrumented_matmul(step.F, m) + step.c
+    fp = instrumented_matmul(step.F, p)
+    p_pred = instrumented_matmul(fp, step.F.T) + step.Q
+    return m_pred, 0.5 * (p_pred + p_pred.T)
+
+
+def kf_update(
+    m: np.ndarray, p: np.ndarray, step: StandardStep
+) -> tuple[np.ndarray, np.ndarray]:
+    """Joseph-form measurement update; returns the input when no obs."""
+    if not step.has_observation:
+        return m, p
+    g = step.G
+    innovation = step.o - instrumented_matmul(g, m)
+    pg_t = instrumented_matmul(p, g.T)
+    s = instrumented_matmul(g, pg_t) + step.R
+    s = 0.5 * (s + s.T)
+    gain = spd_solve(s, pg_t.T, what="innovation covariance").T
+    m_new = m + instrumented_matmul(gain, innovation)
+    i_kg = np.eye(p.shape[0]) - instrumented_matmul(gain, g)
+    p_new = instrumented_matmul(
+        instrumented_matmul(i_kg, p), i_kg.T
+    ) + instrumented_matmul(instrumented_matmul(gain, step.R), gain.T)
+    return m_new, 0.5 * (p_new + p_new.T)
+
+
+class KalmanFilter:
+    """Sequential forward filter over a :class:`StateSpaceProblem`."""
+
+    name = "kalman-filter"
+
+    def filter(
+        self,
+        problem: StateSpaceProblem,
+        backend: Backend | None = None,
+    ) -> FilterResult:
+        if backend is None:
+            backend = SerialBackend()
+        m0, p0, steps = to_standard_form(problem, "the Kalman filter")
+        k = len(steps) - 1
+        means: list[np.ndarray] = [None] * (k + 1)  # type: ignore[list-item]
+        covs: list[np.ndarray] = [None] * (k + 1)  # type: ignore[list-item]
+        pred_means: list[np.ndarray] = [None] * (k + 1)  # type: ignore[list-item]
+        pred_covs: list[np.ndarray] = [None] * (k + 1)  # type: ignore[list-item]
+
+        def advance(i: int) -> None:
+            if i == 0:
+                m_pred, p_pred = m0, p0
+            else:
+                m_pred, p_pred = kf_predict(
+                    means[i - 1], covs[i - 1], steps[i]
+                )
+            pred_means[i] = m_pred
+            pred_covs[i] = p_pred
+            means[i], covs[i] = kf_update(m_pred, p_pred, steps[i])
+
+        backend.serial_for(k + 1, advance, phase="kalman/filter")
+        return FilterResult(
+            means=means,
+            covariances=covs,
+            predicted_means=pred_means,
+            predicted_covariances=pred_covs,
+        )

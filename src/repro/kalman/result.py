@@ -1,0 +1,61 @@
+"""The common result type returned by every smoother in this package."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SmootherResult"]
+
+
+@dataclass
+class SmootherResult:
+    """Smoothed trajectory with optional covariances and diagnostics.
+
+    Attributes
+    ----------
+    means:
+        Smoothed state estimates ``u^_0 .. u^_k``.
+    covariances:
+        ``cov(u^_i)`` per state, or ``None`` for the NC (no-covariance)
+        variants (paper §5.4: the QR smoothers can skip the covariance
+        phase; RTS and Associative cannot).
+    residual_sq:
+        The minimized generalized least-squares objective
+        ``||U(A u^ - b)||^2``, when the algorithm produces it (QR-based
+        smoothers do; RTS-style smoothers do not).
+    algorithm:
+        Identifier of the producing smoother.
+    diagnostics:
+        Free-form extras: recursion depth, iteration counts, flop
+        tallies, per-phase info.
+    """
+
+    means: list[np.ndarray]
+    covariances: list[np.ndarray] | None = None
+    residual_sq: float | None = None
+    algorithm: str = ""
+    diagnostics: dict = field(default_factory=dict)
+
+    @property
+    def k(self) -> int:
+        return len(self.means) - 1
+
+    def stacked_means(self) -> np.ndarray:
+        """States stacked as a ``(k+1, n)`` array (uniform dims only)."""
+        dims = {m.shape[0] for m in self.means}
+        if len(dims) != 1:
+            raise ValueError(
+                "states have varying dimensions; stack manually"
+            )
+        return np.vstack(self.means)
+
+    def stddevs(self) -> list[np.ndarray]:
+        """Per-state marginal standard deviations."""
+        if self.covariances is None:
+            raise ValueError(
+                f"{self.algorithm or 'this smoother'} ran in NC mode; "
+                "covariances were not computed"
+            )
+        return [np.sqrt(np.diag(c)) for c in self.covariances]

@@ -1,0 +1,137 @@
+"""The square-root information filter (SRIF) baseline (paper §2.2).
+
+The paper's related-work section describes the *information filter*
+family: algorithms that "track the expectation and the inverse of the
+covariance matrices of the states.  Some variants of these algorithms
+track a Cholesky factor of the covariance matrix or its inverse."
+This module implements the classic Bierman/Dyer–McReynolds square-root
+information filter: the state's information is carried as the
+triangular pair ``(R, z)`` with ``R^T R = P^{-1}`` and ``mean =
+R^{-1} z``, and both the measurement update and the time update are
+single QR factorizations — orthogonal transformations only, the same
+stability class as the Paige–Saunders/Odd-Even smoothers.
+
+Measurement update: stack the whitened observation under the carried
+triangle and re-triangularize,
+
+    ``qr([R; W G]) -> R'``,  rhs ``[z; W o] -> z'``.
+
+Time update for ``u_new = F u + c + eps``, ``cov(eps) = K = S S^T``:
+augment over ``(eps_w, u_new)`` with ``eps_w = S^{-1} eps``:
+
+    ``qr([[I,  0], [-R F~ S, R F~]])``  with ``F~ = F^{-1}``
+
+and keep the trailing block — implemented below in the equivalent
+joint form that avoids explicitly inverting ``F`` (we QR the combined
+constraint set over ``(u_old, u_new)`` and keep the rows involving
+``u_new`` only, which is exactly one Paige–Saunders evolve step).
+
+The SRIF is algebraically the Kalman filter; the tests verify exact
+agreement.  It exists here to complete the paper's taxonomy of
+baselines and to show that the QR smoothers are its natural batch
+extension.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..linalg.householder import QRFactor
+from ..linalg.triangular import (
+    check_triangular_system,
+    solve_upper,
+    tri_inverse,
+)
+from ..model.problem import StateSpaceProblem
+from .standard_form import to_standard_form
+
+__all__ = ["SquareRootInformationFilter", "srif_filter"]
+
+
+class SquareRootInformationFilter:
+    """Streaming SRIF over standard-form steps.
+
+    State: triangular ``R`` (``n x n``) and vector ``z`` with
+    information ``P^{-1} = R^T R`` and mean ``R^{-1} z``.
+    """
+
+    def __init__(self, mean0: np.ndarray, cov0: np.ndarray):
+        n = mean0.shape[0]
+        # Need upper-triangular R0 with R0^T R0 = P0^{-1}.  With the
+        # lower Cholesky factor S (P0 = S S^T), the lower-triangular
+        # S^{-1} satisfies (S^{-1})^T S^{-1} = P0^{-1}; one QR re-shapes
+        # it into the required upper triangle (orthogonal factors drop
+        # out of R^T R).
+        chol = np.linalg.cholesky(cov0)
+        s_inv = tri_inverse(chol, lower=True)
+        self.r = QRFactor(s_inv).r_square()
+        self.z = self.r @ mean0
+        self.n = n
+
+    # ------------------------------------------------------------------
+    def update(self, g: np.ndarray, o: np.ndarray, l_cov: np.ndarray):
+        """Measurement update by one QR of the stacked rows."""
+        w_chol = np.linalg.cholesky(l_cov)
+        wg = np.linalg.solve(w_chol, g)
+        wo = np.linalg.solve(w_chol, o)
+        stacked = np.vstack([self.r, wg])
+        rhs = np.concatenate([self.z, wo])
+        qf = QRFactor(stacked)
+        qtr = qf.apply_qt(rhs)
+        self.r = qf.r_square()
+        self.z = qtr[: self.n]
+
+    def predict(self, f: np.ndarray, c: np.ndarray, k_cov: np.ndarray):
+        """Time update: one QR over the joint ``(u_old, u_new)`` rows.
+
+        Rows: the carried information on ``u_old`` (``[R | 0]``, rhs
+        ``z``) and the whitened evolution ``[-S^{-1}F | S^{-1}]`` with
+        rhs ``S^{-1} c``.  Eliminating the ``u_old`` block column and
+        keeping the remaining rows yields the predicted information
+        pair on ``u_new`` — identical to a Paige–Saunders evolve step.
+        """
+        n = self.n
+        s_chol = np.linalg.cholesky(k_cov)
+        nb = -np.linalg.solve(s_chol, f)
+        d = tri_inverse(s_chol, lower=True)
+        rhs_evo = np.linalg.solve(s_chol, c)
+        pivot = np.vstack([self.r, nb])
+        coupled = np.vstack([np.zeros((n, n)), d])
+        rhs = np.concatenate([self.z, rhs_evo])
+        qf = QRFactor(pivot)
+        applied = qf.apply_qt(np.column_stack([coupled, rhs]))
+        tail = applied[n:]
+        # Re-triangularize the predicted information rows.
+        qf2 = QRFactor(tail[:, :-1])
+        qtr2 = qf2.apply_qt(tail[:, -1])
+        self.r = qf2.r_square()
+        self.z = qtr2[:n]
+
+    # ------------------------------------------------------------------
+    def mean(self) -> np.ndarray:
+        check_triangular_system(self.r, what="SRIF information factor")
+        return solve_upper(self.r, self.z)
+
+    def covariance(self) -> np.ndarray:
+        rinv = tri_inverse(self.r)
+        return rinv @ rinv.T
+
+
+def srif_filter(
+    problem: StateSpaceProblem,
+) -> tuple[list[np.ndarray], list[np.ndarray]]:
+    """Run the SRIF over a batch problem; returns (means, covariances)."""
+    m0, p0, steps = to_standard_form(
+        problem, "the square-root information filter"
+    )
+    srif = SquareRootInformationFilter(m0, p0)
+    means: list[np.ndarray] = []
+    covs: list[np.ndarray] = []
+    for i, step in enumerate(steps):
+        if i > 0:
+            srif.predict(step.F, step.c, step.Q)
+        if step.has_observation:
+            srif.update(step.G, step.o, step.R)
+        means.append(srif.mean())
+        covs.append(srif.covariance())
+    return means, covs

@@ -1,0 +1,97 @@
+"""Reduction to the standard state-space form required by RTS/Associative.
+
+The conventional Kalman (RTS) smoother and the Särkkä–García-Fernández
+associative smoother work on the standard model
+
+    ``u_i = F_i u_{i-1} + c_i + eps_i``,  ``o_i = G_i u_i + delta_i``
+
+with a known prior — i.e. ``H_i = I``.  The paper notes (§2.2) that
+most conventional algorithms "cannot handle rectangular H_i"; a square
+*invertible* ``H_i``, however, reduces to standard form by multiplying
+the evolution equation through by ``H_i^{-1}`` (which also transforms
+the noise covariance, ``Q_i = H^{-1} K_i H^{-T}``).  This module
+performs that reduction, materializes the covariance matrices the
+conventional algorithms track, and raises descriptive errors in the
+cases only the QR-based smoothers support (rectangular ``H_i``, missing
+prior).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..linalg.triangular import instrumented_solve
+from ..model.problem import StateSpaceProblem
+
+__all__ = ["StandardStep", "to_standard_form"]
+
+
+@dataclass
+class StandardStep:
+    """One step in standard (``H = I``) form with explicit covariances."""
+
+    n: int
+    F: np.ndarray | None = None
+    c: np.ndarray | None = None
+    Q: np.ndarray | None = None
+    G: np.ndarray | None = None
+    o: np.ndarray | None = None
+    R: np.ndarray | None = None
+
+    @property
+    def has_observation(self) -> bool:
+        return self.G is not None
+
+
+def to_standard_form(
+    problem: StateSpaceProblem, algorithm: str = "this smoother"
+) -> tuple[np.ndarray, np.ndarray, list[StandardStep]]:
+    """Return ``(m0, P0, steps)`` in standard form.
+
+    Raises
+    ------
+    ValueError
+        When the problem has no prior or a non-square ``H_i`` — the
+        functional gaps of the conventional algorithms that the paper
+        highlights (§6); the error message points at the QR smoothers.
+    """
+    if problem.prior is None:
+        raise ValueError(
+            f"{algorithm} requires a Gaussian prior on the initial state; "
+            "problems with unknown initial expectation need the QR-based "
+            "smoothers (PaigeSaundersSmoother / OddEvenSmoother)"
+        )
+    out: list[StandardStep] = []
+    for i, step in enumerate(problem.steps):
+        n = step.state_dim
+        std = StandardStep(n=n)
+        if i > 0:
+            evo = step.evolution
+            h = evo.H
+            if h.shape[0] != h.shape[1]:
+                raise ValueError(
+                    f"step {i} has a rectangular H ({h.shape[0]}x"
+                    f"{h.shape[1]}); {algorithm} requires H_i = I or "
+                    "square invertible H_i — use the QR-based smoothers"
+                )
+            k_cov = evo.K.covariance()
+            if evo.is_identity_h():
+                std.F, std.c, std.Q = evo.F, evo.c, k_cov
+            else:
+                hinv_f = instrumented_solve(h, evo.F)
+                hinv_c = instrumented_solve(h, evo.c)
+                hinv_k = instrumented_solve(h, k_cov)
+                std.F = hinv_f
+                std.c = hinv_c
+                std.Q = instrumented_solve(h, hinv_k.T).T
+        if step.observation is not None:
+            obs = step.observation
+            std.G = obs.G
+            std.o = obs.o
+            std.R = obs.L.covariance()
+        out.append(std)
+    m0 = np.asarray(problem.prior.mean, dtype=float)
+    p0 = problem.prior.cov_matrix()
+    return m0, p0, out

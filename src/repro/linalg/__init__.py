@@ -1,0 +1,50 @@
+"""Instrumented dense linear-algebra kernels.
+
+Householder QR in compact form with implicit ``Q^T`` application
+(:class:`QRFactor`), triangular solves, Cholesky whitening, block
+layout helpers, and LAPACK-style flop counts.  Every kernel reports its
+cost to the active tally (see :mod:`repro.parallel.tally`), which is
+how the work-overhead tables and the machine simulation get their
+numbers.
+"""
+
+from . import flops
+from .blocks import BlockLayout, BlockVector, block_rows
+from .cholesky import Whitener, spd_cholesky
+from .householder import (
+    QRFactor,
+    householder_qr_numpy,
+    qr_r_only,
+    stack_blocks,
+)
+from .structure import fill_count, render_ascii, structure_matrix
+from .triangular import (
+    check_triangular_system,
+    instrumented_matmul,
+    solve_lower,
+    solve_upper,
+    solve_upper_transpose,
+    tri_inverse,
+)
+
+__all__ = [
+    "flops",
+    "BlockLayout",
+    "BlockVector",
+    "block_rows",
+    "Whitener",
+    "spd_cholesky",
+    "QRFactor",
+    "householder_qr_numpy",
+    "qr_r_only",
+    "stack_blocks",
+    "fill_count",
+    "render_ascii",
+    "structure_matrix",
+    "check_triangular_system",
+    "instrumented_matmul",
+    "solve_lower",
+    "solve_upper",
+    "solve_upper_transpose",
+    "tri_inverse",
+]

@@ -1,0 +1,117 @@
+"""Block layouts and block vectors for variable-dimension problems.
+
+The paper allows every state, evolution and observation block to have
+its own dimension (§2.1: "We do not require all the states to have the
+same dimension").  :class:`BlockLayout` maps block indices to flat
+index ranges so block-structured objects (the state trajectory, the
+right-hand side, dense oracles) can be assembled and sliced uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BlockLayout", "BlockVector", "block_rows"]
+
+
+@dataclass(frozen=True)
+class BlockLayout:
+    """Immutable mapping from block index to flat slice."""
+
+    dims: tuple[int, ...]
+    offsets: tuple[int, ...]
+    total: int
+
+    @classmethod
+    def from_dims(cls, dims) -> "BlockLayout":
+        dims = tuple(int(d) for d in dims)
+        if any(d < 0 for d in dims):
+            raise ValueError(f"block dimensions must be >= 0, got {dims}")
+        offsets = []
+        total = 0
+        for d in dims:
+            offsets.append(total)
+            total += d
+        return cls(dims=dims, offsets=tuple(offsets), total=total)
+
+    def __len__(self) -> int:
+        return len(self.dims)
+
+    def slice(self, i: int) -> slice:
+        """Flat slice of block ``i`` (negative indices allowed)."""
+        if i < 0:
+            i += len(self.dims)
+        if not 0 <= i < len(self.dims):
+            raise IndexError(f"block index {i} out of range")
+        return slice(self.offsets[i], self.offsets[i] + self.dims[i])
+
+    def dim(self, i: int) -> int:
+        return self.dims[i if i >= 0 else i + len(self.dims)]
+
+
+class BlockVector:
+    """A flat vector with named block access.
+
+    >>> v = BlockVector.zeros([2, 3])
+    >>> v[1] = np.ones(3)
+    >>> v.flat.shape
+    (5,)
+    """
+
+    def __init__(self, layout: BlockLayout, flat: np.ndarray | None = None):
+        self.layout = layout
+        if flat is None:
+            flat = np.zeros(layout.total)
+        flat = np.asarray(flat, dtype=float)
+        if flat.shape != (layout.total,):
+            raise ValueError(
+                f"flat vector has shape {flat.shape}, layout needs "
+                f"({layout.total},)"
+            )
+        self.flat = flat
+
+    @classmethod
+    def zeros(cls, dims) -> "BlockVector":
+        return cls(BlockLayout.from_dims(dims))
+
+    @classmethod
+    def from_blocks(cls, blocks) -> "BlockVector":
+        blocks = [np.atleast_1d(np.asarray(b, dtype=float)) for b in blocks]
+        layout = BlockLayout.from_dims([b.shape[0] for b in blocks])
+        flat = (
+            np.concatenate(blocks) if blocks else np.zeros(0)
+        )
+        return cls(layout, flat)
+
+    def __len__(self) -> int:
+        return len(self.layout)
+
+    def __getitem__(self, i: int) -> np.ndarray:
+        return self.flat[self.layout.slice(i)]
+
+    def __setitem__(self, i: int, value) -> None:
+        value = np.asarray(value, dtype=float)
+        sl = self.layout.slice(i)
+        if value.shape != (sl.stop - sl.start,):
+            raise ValueError(
+                f"block {i} has dimension {sl.stop - sl.start}, got shape "
+                f"{value.shape}"
+            )
+        self.flat[sl] = value
+
+    def blocks(self) -> list[np.ndarray]:
+        return [self[i] for i in range(len(self))]
+
+    def copy(self) -> "BlockVector":
+        return BlockVector(self.layout, self.flat.copy())
+
+
+def block_rows(*blocks: np.ndarray) -> np.ndarray:
+    """Stack matrices vertically, tolerating zero-row blocks."""
+    keep = [np.atleast_2d(b) for b in blocks if b.shape[0] > 0]
+    if not keep:
+        width = np.atleast_2d(blocks[0]).shape[1] if blocks else 0
+        return np.zeros((0, width))
+    return np.vstack(keep)

@@ -1,0 +1,168 @@
+"""Cholesky factorization and covariance whitening operators.
+
+The generalized least-squares formulation (paper §2.1) weights each
+equation block by the inverse factor of its noise covariance:
+``V_i^T V_i = K_i^{-1}`` and ``W_i^T W_i = L_i^{-1}``.  With the
+Cholesky factorization ``K = S S^T`` (``S`` lower triangular), the
+choice ``V = S^{-1}`` satisfies the requirement, and *applying* ``V``
+to a block is a triangular solve — no inverse is ever formed.  This is
+exactly how UltimateKalman (the paper's base implementation) whitens.
+
+:class:`Whitener` also supports covariances given directly in factor
+form (``kind="factor"``) or as a scaled identity (``kind="scaled_identity"``,
+the paper's benchmark setting ``K_i = L_i = I`` where whitening is the
+identity map and costs nothing).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import cho_factor, cholesky as _cholesky
+
+from ..parallel.tally import add_cost
+from .flops import cholesky_flops, trsm_bytes, trsm_flops
+from .triangular import solve_lower
+
+__all__ = ["spd_cholesky", "spd_solve", "Whitener"]
+
+
+def spd_solve(a: np.ndarray, b: np.ndarray, what: str = "matrix") -> np.ndarray:
+    """Solve ``a x = b`` for SPD ``a`` via Cholesky (instrumented).
+
+    The conventional Kalman filter's innovation solves go through this
+    path, matching the paper's LAPACK ``posv`` usage.
+    """
+    from scipy.linalg import solve_triangular as _st
+
+    factor = spd_cholesky(a, what)
+    y = solve_lower(factor, b)
+    k = 1 if np.ndim(b) == 1 else np.shape(b)[1]
+    n = factor.shape[0]
+    add_cost(trsm_flops(n, k), trsm_bytes(n, k))
+    return _st(factor, y, lower=True, trans=1, check_finite=False)
+
+
+def spd_cholesky(a: np.ndarray, what: str = "covariance") -> np.ndarray:
+    """Lower-triangular Cholesky factor of an SPD matrix.
+
+    Raises a :class:`numpy.linalg.LinAlgError` with a descriptive
+    message when ``a`` is not symmetric positive definite; the paper's
+    algorithms require nonsingular noise covariances (§2.2: the
+    QR-based methods cannot handle singular ``K_i``/``L_i``).
+    """
+    a = np.asarray(a, dtype=float)
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ValueError(f"{what} must be a square matrix, got {a.shape}")
+    if a.shape[0] == 0:
+        return np.zeros((0, 0))
+    if not np.allclose(a, a.T, rtol=1e-10, atol=1e-12):
+        raise np.linalg.LinAlgError(f"{what} must be symmetric")
+    try:
+        factor = _cholesky(a, lower=True, check_finite=False)
+    except np.linalg.LinAlgError as exc:  # pragma: no cover - rewrapped below
+        raise np.linalg.LinAlgError(
+            f"{what} is not positive definite: {exc}; the QR-based "
+            "smoothers require nonsingular noise covariances"
+        ) from exc
+    except Exception as exc:
+        raise np.linalg.LinAlgError(
+            f"{what} is not positive definite; the QR-based smoothers "
+            "require nonsingular noise covariances"
+        ) from exc
+    add_cost(cholesky_flops(a.shape[0]))
+    return factor
+
+
+class Whitener:
+    """Applies ``V = S^{-1}`` for a noise covariance ``K = S S^T``.
+
+    Parameters
+    ----------
+    cov:
+        The covariance matrix (``kind="covariance"``), its lower
+        Cholesky factor (``kind="factor"``), or ``None`` with
+        ``scale`` for a scaled identity.
+    kind:
+        One of ``"covariance"``, ``"factor"``, ``"identity"``,
+        ``"scaled_identity"``.
+    scale:
+        For ``"scaled_identity"``: the standard deviation ``s`` such
+        that the covariance is ``s^2 I`` (whitening divides by ``s``).
+    dim:
+        Dimension, required for the identity kinds.
+    """
+
+    def __init__(
+        self,
+        cov: np.ndarray | None = None,
+        *,
+        kind: str = "covariance",
+        scale: float = 1.0,
+        dim: int | None = None,
+        what: str = "covariance",
+    ):
+        self.kind = kind
+        self.what = what
+        if kind == "covariance":
+            cov = np.asarray(cov, dtype=float)
+            self.dim = cov.shape[0]
+            self._factor = spd_cholesky(cov, what)
+        elif kind == "factor":
+            factor = np.asarray(cov, dtype=float)
+            if factor.ndim != 2 or factor.shape[0] != factor.shape[1]:
+                raise ValueError("factor must be square")
+            if np.any(np.diag(factor) <= 0):
+                raise np.linalg.LinAlgError(
+                    f"{what} factor must have positive diagonal"
+                )
+            self.dim = factor.shape[0]
+            self._factor = np.tril(factor)
+        elif kind in ("identity", "scaled_identity"):
+            if dim is None:
+                raise ValueError("dim is required for identity whiteners")
+            if kind == "scaled_identity" and scale <= 0:
+                raise np.linalg.LinAlgError(f"{what} scale must be positive")
+            self.dim = dim
+            self.scale = float(scale) if kind == "scaled_identity" else 1.0
+            self._factor = None
+        else:
+            raise ValueError(f"unknown whitener kind {kind!r}")
+
+    @classmethod
+    def identity(cls, dim: int) -> "Whitener":
+        """Whitener for a unit covariance (a no-op)."""
+        return cls(kind="identity", dim=dim)
+
+    @classmethod
+    def scaled_identity(cls, dim: int, stddev: float) -> "Whitener":
+        """Whitener for covariance ``stddev^2 * I``."""
+        return cls(kind="scaled_identity", dim=dim, scale=stddev)
+
+    def whiten(self, block: np.ndarray) -> np.ndarray:
+        """Return ``V @ block`` (= ``S^{-1} block``, a triangular solve)."""
+        block = np.asarray(block, dtype=float)
+        rows = block.shape[0]
+        if rows != self.dim:
+            raise ValueError(
+                f"cannot whiten {rows} rows with a dimension-{self.dim} "
+                f"{self.what} whitener"
+            )
+        if self._factor is None:
+            if self.kind == "identity" or self.scale == 1.0:
+                return block.astype(float, copy=True)
+            k = 1 if block.ndim == 1 else block.shape[1]
+            add_cost(float(rows) * k, trsm_bytes(rows, k))
+            return block / self.scale
+        return solve_lower(self._factor, block)
+
+    def covariance(self) -> np.ndarray:
+        """Materialize the covariance this whitener corresponds to."""
+        if self._factor is None:
+            return (self.scale**2) * np.eye(self.dim)
+        return self._factor @ self._factor.T
+
+    def unwhiten_cost(self) -> float:
+        """Flops charged for whitening an ``n``-column block (model use)."""
+        if self._factor is None:
+            return 0.0
+        return trsm_flops(self.dim, self.dim)

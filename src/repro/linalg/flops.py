@@ -1,0 +1,95 @@
+"""LAPACK-style floating-point operation counts for dense kernels.
+
+These are the standard operation counts (see Golub & Van Loan, and the
+LAPACK Users' Guide appendix) used to account for the *work* term
+``T_1`` in the paper's work/span analysis (§3.3).  The machine model in
+:mod:`repro.parallel.machine` converts these counts into simulated
+seconds.
+
+All counts are for real double-precision arithmetic and count one add
+or one multiply as one flop, so a fused multiply-add is two flops.
+"""
+
+from __future__ import annotations
+
+DOUBLE = 8  # bytes per float64
+
+
+def qr_flops(m: int, n: int) -> float:
+    """Householder QR of an ``m x n`` matrix (``dgeqrf``).
+
+    ``2 m n^2 - (2/3) n^3`` for ``m >= n``; for wide matrices only the
+    first ``m`` columns are reduced.
+    """
+    if m <= 0 or n <= 0:
+        return 0.0
+    if m >= n:
+        return 2.0 * m * n * n - (2.0 / 3.0) * n**3
+    return 2.0 * m * m * n - (2.0 / 3.0) * m**3
+
+
+def qr_apply_flops(m: int, n: int, k: int) -> float:
+    """Apply ``Q^T`` (from an ``m x n`` QR) to an ``m x k`` matrix (``dormqr``).
+
+    ``4 m n k - 2 n^2 k`` for ``m >= n`` (``n`` reflectors of length
+    decreasing from ``m``).
+    """
+    if m <= 0 or n <= 0 or k <= 0:
+        return 0.0
+    r = min(m, n)
+    return (4.0 * m * r - 2.0 * r * r) * k
+
+
+def matmul_flops(m: int, k: int, n: int) -> float:
+    """Dense matrix product ``(m x k) @ (k x n)`` (``dgemm``): ``2 m k n``."""
+    if m <= 0 or k <= 0 or n <= 0:
+        return 0.0
+    return 2.0 * m * k * n
+
+
+def trsm_flops(n: int, k: int) -> float:
+    """Triangular solve with ``k`` right-hand sides (``dtrsm``): ``n^2 k``."""
+    if n <= 0 or k <= 0:
+        return 0.0
+    return float(n) * n * k
+
+
+def cholesky_flops(n: int) -> float:
+    """Cholesky factorization of an ``n x n`` SPD matrix: ``n^3 / 3``."""
+    if n <= 0:
+        return 0.0
+    return n**3 / 3.0
+
+
+def syrk_flops(n: int, k: int) -> float:
+    """Symmetric rank-k update ``A A^T`` with ``A`` ``n x k``: ``n^2 k``."""
+    if n <= 0 or k <= 0:
+        return 0.0
+    return float(n) * n * k
+
+
+def gemv_flops(m: int, n: int) -> float:
+    """Matrix-vector product ``(m x n) @ (n,)``: ``2 m n``."""
+    if m <= 0 or n <= 0:
+        return 0.0
+    return 2.0 * m * n
+
+
+def axpy_flops(n: int) -> float:
+    """Vector scale-and-add of length ``n``: ``2 n``."""
+    return 2.0 * max(n, 0)
+
+
+def qr_bytes(m: int, n: int) -> float:
+    """Approximate traffic of a QR factorization: read + write the matrix."""
+    return 2.0 * DOUBLE * m * n
+
+
+def matmul_bytes(m: int, k: int, n: int) -> float:
+    """Approximate traffic of a GEMM: operands and result touched once."""
+    return DOUBLE * (m * k + k * n + m * n)
+
+
+def trsm_bytes(n: int, k: int) -> float:
+    """Approximate traffic of a triangular solve."""
+    return DOUBLE * (n * n / 2.0 + 2.0 * n * k)

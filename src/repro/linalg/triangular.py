@@ -1,0 +1,110 @@
+"""Instrumented triangular solves and related small kernels.
+
+These wrap :func:`scipy.linalg.solve_triangular` (LAPACK ``dtrtrs`` /
+BLAS ``dtrsm``) with cost accounting and with the shape/consistency
+checks the smoothers rely on.  Matrix inverses are never formed except
+in :func:`tri_inverse`, which SelInv needs for the ``R_jj^{-1}
+R_jj^{-T}`` diagonal products (paper Algorithms 1-2); even there the
+inverse is obtained by a triangular solve against the identity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import solve_triangular as _solve_triangular
+
+from ..parallel.tally import add_cost
+from .flops import matmul_bytes, matmul_flops, trsm_bytes, trsm_flops
+
+__all__ = [
+    "solve_upper",
+    "solve_lower",
+    "solve_upper_transpose",
+    "tri_inverse",
+    "instrumented_matmul",
+    "instrumented_solve",
+    "check_triangular_system",
+]
+
+
+def check_triangular_system(r: np.ndarray, what: str = "R") -> None:
+    """Validate that ``r`` is square with a nonsingular diagonal.
+
+    Raises :class:`numpy.linalg.LinAlgError` with a diagnostic message
+    identifying which block failed; the smoothers call this on every
+    diagonal block so rank-deficient problems fail loudly instead of
+    producing NaNs deep in a recursion.
+    """
+    if r.ndim != 2 or r.shape[0] != r.shape[1]:
+        raise np.linalg.LinAlgError(
+            f"{what} must be square, got shape {r.shape}; the least-squares "
+            "problem does not determine this state (rank deficiency)"
+        )
+    d = np.abs(np.diag(r))
+    if r.shape[0] and (d.min() == 0.0 or not np.all(np.isfinite(d))):
+        raise np.linalg.LinAlgError(
+            f"{what} is singular (zero or non-finite diagonal entry); "
+            "check that the problem has full column rank"
+        )
+
+
+def _solve(r: np.ndarray, b: np.ndarray, lower: bool, trans: int) -> np.ndarray:
+    b = np.asarray(b, dtype=float)
+    n = r.shape[0]
+    if n == 0:
+        return b.copy()
+    k = 1 if b.ndim == 1 else b.shape[1]
+    add_cost(trsm_flops(n, k), trsm_bytes(n, k))
+    return _solve_triangular(r, b, lower=lower, trans=trans, check_finite=False)
+
+
+def solve_upper(r: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Solve ``R x = b`` with ``R`` upper triangular."""
+    return _solve(r, b, lower=False, trans=0)
+
+
+def solve_upper_transpose(r: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Solve ``R^T x = b`` with ``R`` upper triangular."""
+    return _solve(r, b, lower=False, trans=1)
+
+
+def solve_lower(l: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Solve ``L x = b`` with ``L`` lower triangular."""
+    return _solve(l, b, lower=True, trans=0)
+
+
+def tri_inverse(r: np.ndarray, lower: bool = False) -> np.ndarray:
+    """Invert a triangular matrix via a solve against the identity."""
+    n = r.shape[0]
+    if n == 0:
+        return np.zeros((0, 0))
+    add_cost(trsm_flops(n, n), trsm_bytes(n, n))
+    return _solve_triangular(
+        r, np.eye(n), lower=lower, trans=0, check_finite=False
+    )
+
+
+def instrumented_solve(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``solve(a, b)`` for a square general ``a`` with cost accounting.
+
+    LU factorization (``2/3 n^3``) plus two triangular solves.  Used by
+    the RTS/Associative baselines where the paper's implementations
+    call LAPACK ``gesv``.
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    n = a.shape[0]
+    k = 1 if b.ndim == 1 else b.shape[1]
+    add_cost((2.0 / 3.0) * n**3 + 2.0 * trsm_flops(n, k), trsm_bytes(n, k))
+    return np.linalg.solve(a, b)
+
+
+def instrumented_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``a @ b`` with flop/byte accounting (``dgemm``)."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    m = a.shape[0]
+    k = a.shape[1] if a.ndim == 2 else a.shape[0]
+    n = b.shape[1] if b.ndim == 2 else 1
+    add_cost(matmul_flops(m, k, n), matmul_bytes(m, k, n))
+    return a @ b

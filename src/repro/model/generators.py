@@ -1,0 +1,289 @@
+"""Problem generators: benchmark workloads and test fixtures.
+
+:func:`random_orthonormal_problem` is the paper's benchmark workload
+(§5.2): fixed random orthonormal ``F_i`` and ``G_i``, ``H_i = I``,
+``K_i = L_i = I``, random observations — orthonormal dynamics avoid
+state growth/shrinkage and hence overflow in million-step runs.
+
+The other generators build the structured problems the tests and
+examples use: tracking models with simulated ground truth, problems
+with varying state dimensions, missing observations, rectangular
+``H_i`` (state-dimension changes), unknown initial state, and
+ill-conditioned covariances for the stability ablation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .problem import StateSpaceProblem
+from .steps import Evolution, GaussianPrior, Observation, Step
+
+__all__ = [
+    "random_orthonormal",
+    "random_orthonormal_problem",
+    "random_problem",
+    "constant_velocity_problem",
+    "tracking_2d_problem",
+    "ill_conditioned_problem",
+    "dimension_change_problem",
+]
+
+
+def random_orthonormal(n: int, rng: np.random.Generator) -> np.ndarray:
+    """A Haar-ish random orthonormal matrix via QR of a Gaussian."""
+    q, r = np.linalg.qr(rng.standard_normal((n, n)))
+    # Fix signs so the distribution does not favour reflections.
+    return q * np.sign(np.diag(r))
+
+
+def random_orthonormal_problem(
+    n: int,
+    k: int,
+    seed: int = 0,
+    *,
+    with_prior: bool = True,
+    fixed: bool = True,
+) -> StateSpaceProblem:
+    """The paper's §5.2 synthetic benchmark problem.
+
+    Parameters
+    ----------
+    n:
+        Common state and observation dimension (the paper uses 6, 48,
+        and 500).
+    k:
+        Index of the last state (``k + 1`` states total, matching the
+        paper's "k steps" with state 0 extra).
+    with_prior:
+        The RTS and Associative baselines need a prior; the QR-based
+        smoothers run fine either way.  Defaults to a unit-covariance
+        zero-mean prior so all four smoothers solve the same problem.
+    fixed:
+        Use one ``F`` and one ``G`` for every step (the paper's "random
+        fixed orthonormal F_i and G_i"); ``False`` draws fresh ones per
+        step.
+    """
+    rng = np.random.default_rng(seed)
+    f_fixed = random_orthonormal(n, rng)
+    g_fixed = random_orthonormal(n, rng)
+    steps = []
+    for i in range(k + 1):
+        f = f_fixed if fixed else random_orthonormal(n, rng)
+        g = g_fixed if fixed else random_orthonormal(n, rng)
+        obs = Observation(G=g, o=rng.standard_normal(n))
+        evo = None if i == 0 else Evolution(F=f)
+        steps.append(Step(state_dim=n, evolution=evo, observation=obs))
+    prior = (
+        GaussianPrior(mean=np.zeros(n), cov=np.eye(n)) if with_prior else None
+    )
+    return StateSpaceProblem(steps, prior=prior)
+
+
+def _random_spd(n: int, rng: np.random.Generator, spread: float = 3.0):
+    """A well-conditioned random SPD matrix (eigenvalues in [1, spread])."""
+    q = random_orthonormal(n, rng)
+    eigs = rng.uniform(1.0, spread, size=n)
+    return (q * eigs) @ q.T
+
+
+def random_problem(
+    k: int,
+    seed: int = 0,
+    *,
+    dims: list[int] | int = 3,
+    obs_prob: float = 1.0,
+    obs_dim: int | None = None,
+    random_cov: bool = False,
+    with_prior: bool = True,
+    with_controls: bool = True,
+) -> StateSpaceProblem:
+    """A general random well-posed problem for correctness tests.
+
+    ``dims`` may be a single dimension or a per-state list (varying
+    dimensions exercise the rectangular bookkeeping everywhere).
+    ``obs_prob < 1`` drops observations at random states, which is
+    legal as long as the problem stays full-rank (a prior plus the
+    evolution chain guarantees it).
+    """
+    rng = np.random.default_rng(seed)
+    if isinstance(dims, int):
+        dims = [dims] * (k + 1)
+    if len(dims) != k + 1:
+        raise ValueError(f"need {k + 1} dimensions, got {len(dims)}")
+    steps = []
+    for i, n in enumerate(dims):
+        evo = None
+        if i > 0:
+            n_prev = dims[i - 1]
+            f = rng.standard_normal((n, n_prev)) / np.sqrt(max(n_prev, 1))
+            f += 0.5 * np.eye(n, n_prev)
+            c = rng.standard_normal(n) if with_controls else None
+            kcov = _random_spd(n, rng) if random_cov else None
+            evo = Evolution(F=f, c=c, K=kcov)
+        obs = None
+        has_obs = rng.uniform() < obs_prob or (i == 0 and not with_prior)
+        if has_obs:
+            m = obs_dim if obs_dim is not None else n
+            g = rng.standard_normal((m, n))
+            o = rng.standard_normal(m)
+            lcov = _random_spd(m, rng) if random_cov else None
+            obs = Observation(G=g, o=o, L=lcov)
+        steps.append(Step(state_dim=n, evolution=evo, observation=obs))
+    prior = None
+    if with_prior:
+        prior = GaussianPrior(
+            mean=rng.standard_normal(dims[0]),
+            cov=_random_spd(dims[0], rng) if random_cov else None,
+        )
+    return StateSpaceProblem(steps, prior=prior)
+
+
+def constant_velocity_problem(
+    k: int,
+    dt: float = 0.1,
+    process_noise: float = 0.01,
+    obs_noise: float = 0.25,
+    seed: int = 0,
+) -> tuple[StateSpaceProblem, np.ndarray]:
+    """1-D constant-velocity tracking with simulated ground truth.
+
+    State ``[position, velocity]``; position observed at every step.
+    Returns ``(problem, true_states)`` with ``true_states`` of shape
+    ``(k + 1, 2)``.
+    """
+    rng = np.random.default_rng(seed)
+    f = np.array([[1.0, dt], [0.0, 1.0]])
+    # Discrete white-noise-acceleration covariance.
+    q = process_noise * np.array(
+        [[dt**3 / 3.0, dt**2 / 2.0], [dt**2 / 2.0, dt]]
+    )
+    g = np.array([[1.0, 0.0]])
+    truth = np.zeros((k + 1, 2))
+    truth[0] = [0.0, 1.0]
+    chol_q = np.linalg.cholesky(q + 1e-15 * np.eye(2))
+    steps = []
+    for i in range(k + 1):
+        if i > 0:
+            truth[i] = f @ truth[i - 1] + chol_q @ rng.standard_normal(2)
+        o = g @ truth[i] + np.sqrt(obs_noise) * rng.standard_normal(1)
+        evo = None if i == 0 else Evolution(F=f, K=q + 1e-12 * np.eye(2))
+        steps.append(
+            Step(
+                state_dim=2,
+                evolution=evo,
+                observation=Observation(G=g, o=o, L=obs_noise * np.eye(1)),
+            )
+        )
+    prior = GaussianPrior(mean=np.array([0.0, 1.0]), cov=np.eye(2))
+    return StateSpaceProblem(steps, prior=prior), truth
+
+
+def tracking_2d_problem(
+    k: int,
+    dt: float = 0.1,
+    process_noise: float = 0.05,
+    obs_noise: float = 0.5,
+    seed: int = 0,
+    obs_prob: float = 1.0,
+) -> tuple[StateSpaceProblem, np.ndarray]:
+    """2-D nearly-constant-velocity target tracking (n=4, m=2).
+
+    The classic radar-style workload the paper's introduction motivates
+    (post-processing whole trajectories).  ``obs_prob`` below 1 models
+    detector dropouts.
+    """
+    rng = np.random.default_rng(seed)
+    f = np.eye(4)
+    f[0, 2] = f[1, 3] = dt
+    qb = process_noise * np.array(
+        [[dt**3 / 3.0, dt**2 / 2.0], [dt**2 / 2.0, dt]]
+    )
+    q = np.zeros((4, 4))
+    q[np.ix_([0, 2], [0, 2])] = qb
+    q[np.ix_([1, 3], [1, 3])] = qb
+    q += 1e-12 * np.eye(4)
+    g = np.zeros((2, 4))
+    g[0, 0] = g[1, 1] = 1.0
+    chol_q = np.linalg.cholesky(q)
+    truth = np.zeros((k + 1, 4))
+    truth[0] = [0.0, 0.0, 1.0, 0.5]
+    steps = []
+    for i in range(k + 1):
+        if i > 0:
+            truth[i] = f @ truth[i - 1] + chol_q @ rng.standard_normal(4)
+        obs = None
+        if rng.uniform() < obs_prob or i == 0:
+            o = g @ truth[i] + np.sqrt(obs_noise) * rng.standard_normal(2)
+            obs = Observation(G=g, o=o, L=obs_noise * np.eye(2))
+        evo = None if i == 0 else Evolution(F=f, K=q)
+        steps.append(Step(state_dim=4, evolution=evo, observation=obs))
+    prior = GaussianPrior(mean=truth[0], cov=np.eye(4))
+    return StateSpaceProblem(steps, prior=prior), truth
+
+
+def ill_conditioned_problem(
+    n: int, k: int, cond: float, seed: int = 0
+) -> StateSpaceProblem:
+    """§5.2-style problem with noise covariances of condition ``cond``.
+
+    The paper's stability claim (§6) is that the QR-based smoothers are
+    backward stable *conditionally on the input covariances*; sweeping
+    ``cond`` and comparing against the normal-equations algorithm
+    (which squares the condition number) is the ablation in
+    ``benchmarks/test_ablation_stability.py``.
+    """
+    rng = np.random.default_rng(seed)
+    f = random_orthonormal(n, rng)
+    g = random_orthonormal(n, rng)
+    # Diagonal covariances: the paper's best case for stability, with a
+    # controlled spread of scales.
+    scales = np.logspace(0.0, np.log10(cond), n)
+    kcov = np.diag(scales)
+    lcov = np.diag(scales[::-1])
+    steps = []
+    for i in range(k + 1):
+        obs = Observation(G=g, o=rng.standard_normal(n), L=lcov)
+        evo = None if i == 0 else Evolution(F=f, K=kcov)
+        steps.append(Step(state_dim=n, evolution=evo, observation=obs))
+    prior = GaussianPrior(mean=np.zeros(n), cov=np.eye(n))
+    return StateSpaceProblem(steps, prior=prior)
+
+
+def dimension_change_problem(
+    k: int, n_small: int = 2, n_large: int = 4, seed: int = 0
+) -> StateSpaceProblem:
+    """A problem whose state dimension grows mid-trajectory.
+
+    Uses a rectangular ``H_i`` at the transition step — the capability
+    the paper highlights (§6) that the RTS and Associative smoothers
+    lack.  The first half has dimension ``n_small``; at the switch the
+    new state's extra coordinates are only weakly constrained by the
+    evolution equation and get pinned down by observations.
+    """
+    if n_large <= n_small:
+        raise ValueError("n_large must exceed n_small")
+    rng = np.random.default_rng(seed)
+    switch = k // 2 + 1
+    steps = []
+    for i in range(k + 1):
+        n = n_small if i < switch else n_large
+        n_prev = n_small if i - 1 < switch else n_large
+        obs = Observation(
+            G=rng.standard_normal((n, n)), o=rng.standard_normal(n)
+        )
+        evo = None
+        if i > 0:
+            if n == n_prev:
+                evo = Evolution(F=0.9 * np.eye(n) + 0.05 * rng.standard_normal((n, n)))
+            else:
+                # l_i = n_prev rows: the evolution constrains the image
+                # of the old coordinates; H is rectangular l x n.
+                h = np.zeros((n_prev, n))
+                h[:, :n_prev] = np.eye(n_prev)
+                evo = Evolution(
+                    F=0.9 * np.eye(n_prev), H=h, K=np.eye(n_prev)
+                )
+        steps.append(Step(state_dim=n, evolution=evo, observation=obs))
+    prior = GaussianPrior(mean=np.zeros(n_small), cov=np.eye(n_small))
+    return StateSpaceProblem(steps, prior=prior)

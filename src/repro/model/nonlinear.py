@@ -1,0 +1,291 @@
+"""Nonlinear dynamic systems and their Gauss–Newton linearization.
+
+The paper reduces nonlinear Kalman smoothing to a sequence of linear
+smoothing problems (§2.2): each Gauss–Newton iteration replaces the
+nonlinear ``F_i``/``G_i`` by their Jacobians at the current iterate and
+adjusts the constant terms so the linear solution is the next iterate.
+This module holds the nonlinear model description, the linearization,
+and two classic benchmark systems (pendulum, coordinated turn).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from .problem import StateSpaceProblem
+from .steps import Evolution, GaussianPrior, Observation, Step
+
+__all__ = [
+    "NonlinearFunction",
+    "NonlinearStep",
+    "NonlinearProblem",
+    "pendulum_problem",
+    "coordinated_turn_problem",
+]
+
+
+@dataclass
+class NonlinearFunction:
+    """A differentiable vector function with its Jacobian.
+
+    ``fn(x) -> y`` and ``jacobian(x) -> dy/dx``.  When ``jacobian`` is
+    omitted a central finite difference is used (tests verify analytic
+    Jacobians against it).
+    """
+
+    fn: Callable[[np.ndarray], np.ndarray]
+    jacobian: Callable[[np.ndarray], np.ndarray] | None = None
+    fd_step: float = 1e-6
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return np.asarray(self.fn(np.asarray(x, dtype=float)), dtype=float)
+
+    def jac(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if self.jacobian is not None:
+            return np.atleast_2d(np.asarray(self.jacobian(x), dtype=float))
+        y0 = self(x)
+        jac = np.zeros((y0.shape[0], x.shape[0]))
+        for j in range(x.shape[0]):
+            dx = np.zeros_like(x)
+            dx[j] = self.fd_step
+            jac[:, j] = (self(x + dx) - self(x - dx)) / (2 * self.fd_step)
+        return jac
+
+
+@dataclass
+class NonlinearStep:
+    """One step of a nonlinear problem.
+
+    ``evolution_fn`` maps ``u_{i-1}`` to the predicted ``H_i u_i``
+    contribution (paper form ``H_i u_i = F_i(u_{i-1}) + c_i + eps``);
+    ``observation_fn`` maps ``u_i`` to the predicted observation.
+    """
+
+    state_dim: int
+    evolution_fn: NonlinearFunction | None = None
+    evolution_cov: np.ndarray | None = None
+    c: np.ndarray | None = None
+    observation_fn: NonlinearFunction | None = None
+    observation: np.ndarray | None = None
+    observation_cov: np.ndarray | None = None
+
+
+class NonlinearProblem:
+    """A nonlinear estimation problem (``H_i = I`` throughout)."""
+
+    def __init__(
+        self, steps: list[NonlinearStep], prior: GaussianPrior | None = None
+    ):
+        if not steps:
+            raise ValueError("a problem needs at least one step")
+        if steps[0].evolution_fn is not None:
+            raise ValueError("steps[0] must not have an evolution function")
+        for i, s in enumerate(steps[1:], start=1):
+            if s.evolution_fn is None:
+                raise ValueError(f"step {i} is missing its evolution function")
+        self.steps = steps
+        self.prior = prior
+
+    @property
+    def k(self) -> int:
+        return len(self.steps) - 1
+
+    @property
+    def state_dims(self) -> list[int]:
+        return [s.state_dim for s in self.steps]
+
+    def linearize(self, trajectory: list[np.ndarray]) -> StateSpaceProblem:
+        """Linear problem whose solution is the next Gauss–Newton iterate.
+
+        At the iterate ``u^0``, the evolution residual linearizes as
+        ``u_i - F'(u^0_{i-1}) u_{i-1} - c_i'`` with
+        ``c_i' = c_i + F(u^0_{i-1}) - F'(u^0_{i-1}) u^0_{i-1}``, and the
+        observation residual as ``o_i' - G'(u^0_i) u_i`` with
+        ``o_i' = o_i - G(u^0_i) + G'(u^0_i) u^0_i`` (paper §2.2, [16]).
+        """
+        if len(trajectory) != len(self.steps):
+            raise ValueError(
+                f"trajectory has {len(trajectory)} states, problem has "
+                f"{len(self.steps)}"
+            )
+        out: list[Step] = []
+        for i, s in enumerate(self.steps):
+            u0 = np.asarray(trajectory[i], dtype=float)
+            evo = None
+            if i > 0 and s.evolution_fn is not None:
+                uprev = np.asarray(trajectory[i - 1], dtype=float)
+                f_jac = s.evolution_fn.jac(uprev)
+                c = s.c if s.c is not None else np.zeros(s.state_dim)
+                c_lin = c + s.evolution_fn(uprev) - f_jac @ uprev
+                evo = Evolution(F=f_jac, c=c_lin, K=s.evolution_cov)
+            obs = None
+            if s.observation_fn is not None and s.observation is not None:
+                g_jac = s.observation_fn.jac(u0)
+                o_lin = s.observation - s.observation_fn(u0) + g_jac @ u0
+                obs = Observation(G=g_jac, o=o_lin, L=s.observation_cov)
+            out.append(Step(state_dim=s.state_dim, evolution=evo, observation=obs))
+        return StateSpaceProblem(out, prior=self.prior)
+
+    def objective(self, trajectory: list[np.ndarray]) -> float:
+        """The nonlinear generalized least-squares objective (paper eq. 4)."""
+        total = 0.0
+        if self.prior is not None:
+            r = self.prior.cov.whiten(
+                np.asarray(trajectory[0], dtype=float) - self.prior.mean
+            )
+            total += float(r @ r)
+        for i, s in enumerate(self.steps):
+            u = np.asarray(trajectory[i], dtype=float)
+            if i > 0 and s.evolution_fn is not None:
+                c = s.c if s.c is not None else np.zeros(s.state_dim)
+                resid = u - s.evolution_fn(trajectory[i - 1]) - c
+                white = Evolution(
+                    F=np.eye(s.state_dim), K=s.evolution_cov
+                ).K.whiten(resid)
+                total += float(white @ white)
+            if s.observation_fn is not None and s.observation is not None:
+                resid = s.observation - s.observation_fn(u)
+                white = Observation(
+                    G=np.eye(len(resid)), o=resid, L=s.observation_cov
+                ).L.whiten(resid)
+                total += float(white @ white)
+        return total
+
+
+def pendulum_problem(
+    k: int,
+    dt: float = 0.05,
+    q: float = 0.01,
+    r: float = 0.1,
+    seed: int = 0,
+) -> tuple[NonlinearProblem, np.ndarray]:
+    """Noisy pendulum with ``sin`` observations (Särkkä's classic demo).
+
+    State ``[angle, angular velocity]``; dynamics
+    ``theta' = omega, omega' = -g sin(theta)`` discretized by Euler;
+    observation ``sin(theta)``.  Returns ``(problem, true_states)``.
+    """
+    g_const = 9.81
+    rng = np.random.default_rng(seed)
+
+    def evo_fn(x):
+        return np.array([x[0] + dt * x[1], x[1] - dt * g_const * np.sin(x[0])])
+
+    def evo_jac(x):
+        return np.array(
+            [[1.0, dt], [-dt * g_const * np.cos(x[0]), 1.0]]
+        )
+
+    def obs_fn(x):
+        return np.array([np.sin(x[0])])
+
+    def obs_jac(x):
+        return np.array([[np.cos(x[0]), 0.0]])
+
+    qcov = q * np.array([[dt**3 / 3, dt**2 / 2], [dt**2 / 2, dt]])
+    qchol = np.linalg.cholesky(qcov + 1e-15 * np.eye(2))
+    truth = np.zeros((k + 1, 2))
+    truth[0] = [1.2, 0.0]
+    steps: list[NonlinearStep] = []
+    for i in range(k + 1):
+        if i > 0:
+            truth[i] = evo_fn(truth[i - 1]) + qchol @ rng.standard_normal(2)
+        o = obs_fn(truth[i]) + np.sqrt(r) * rng.standard_normal(1)
+        steps.append(
+            NonlinearStep(
+                state_dim=2,
+                evolution_fn=None
+                if i == 0
+                else NonlinearFunction(evo_fn, evo_jac),
+                evolution_cov=None if i == 0 else qcov + 1e-12 * np.eye(2),
+                observation_fn=NonlinearFunction(obs_fn, obs_jac),
+                observation=o,
+                observation_cov=r * np.eye(1),
+            )
+        )
+    prior = GaussianPrior(mean=np.array([1.2, 0.0]), cov=0.5 * np.eye(2))
+    return NonlinearProblem(steps, prior=prior), truth
+
+
+def coordinated_turn_problem(
+    k: int,
+    dt: float = 0.1,
+    q_turn: float = 0.05,
+    r: float = 0.3,
+    seed: int = 0,
+) -> tuple[NonlinearProblem, np.ndarray]:
+    """Coordinated-turn target with range-bearing observations.
+
+    State ``[px, py, v, heading, turn-rate]``; a standard nonlinear
+    tracking benchmark.  Observations are range and bearing from the
+    origin.  Returns ``(problem, true_states)``.
+    """
+    rng = np.random.default_rng(seed)
+
+    def evo_fn(x):
+        px, py, v, th, w = x
+        return np.array(
+            [
+                px + dt * v * np.cos(th),
+                py + dt * v * np.sin(th),
+                v,
+                th + dt * w,
+                w,
+            ]
+        )
+
+    def evo_jac(x):
+        _px, _py, v, th, _w = x
+        jac = np.eye(5)
+        jac[0, 2] = dt * np.cos(th)
+        jac[0, 3] = -dt * v * np.sin(th)
+        jac[1, 2] = dt * np.sin(th)
+        jac[1, 3] = dt * v * np.cos(th)
+        jac[3, 4] = dt
+        return jac
+
+    def obs_fn(x):
+        px, py = x[0], x[1]
+        return np.array([np.hypot(px, py), np.arctan2(py, px)])
+
+    def obs_jac(x):
+        px, py = x[0], x[1]
+        rho2 = px * px + py * py
+        rho = np.sqrt(rho2)
+        jac = np.zeros((2, 5))
+        jac[0, 0] = px / rho
+        jac[0, 1] = py / rho
+        jac[1, 0] = -py / rho2
+        jac[1, 1] = px / rho2
+        return jac
+
+    qcov = np.diag([1e-6, 1e-6, 1e-3, 1e-6, q_turn * dt])
+    qchol = np.sqrt(qcov)
+    truth = np.zeros((k + 1, 5))
+    truth[0] = [5.0, 0.0, 1.0, np.pi / 2, 0.2]
+    steps: list[NonlinearStep] = []
+    for i in range(k + 1):
+        if i > 0:
+            truth[i] = evo_fn(truth[i - 1]) + qchol @ rng.standard_normal(5)
+        o = obs_fn(truth[i]) + np.sqrt(r) * rng.standard_normal(2) * np.array(
+            [1.0, 0.05]
+        )
+        lcov = r * np.diag([1.0, 0.05**2])
+        steps.append(
+            NonlinearStep(
+                state_dim=5,
+                evolution_fn=None
+                if i == 0
+                else NonlinearFunction(evo_fn, evo_jac),
+                evolution_cov=None if i == 0 else qcov,
+                observation_fn=NonlinearFunction(obs_fn, obs_jac),
+                observation=o,
+                observation_cov=lcov,
+            )
+        )
+    prior = GaussianPrior(mean=truth[0], cov=0.1 * np.eye(5))
+    return NonlinearProblem(steps, prior=prior), truth

@@ -1,0 +1,18 @@
+"""Nonlinear smoothing via iterated linearization (paper §2.2, §5.4)."""
+
+from .ekf import extended_kalman_filter
+from .gauss_newton import GaussNewtonSmoother, GaussNewtonTrace
+from .levenberg_marquardt import (
+    LevenbergMarquardtSmoother,
+    LMTrace,
+    damp_problem,
+)
+
+__all__ = [
+    "extended_kalman_filter",
+    "GaussNewtonSmoother",
+    "GaussNewtonTrace",
+    "LevenbergMarquardtSmoother",
+    "LMTrace",
+    "damp_problem",
+]

@@ -1,0 +1,61 @@
+"""Extended Kalman filter: initial trajectories for the nonlinear solvers.
+
+The Gauss–Newton iterated smoother needs an initial guess for the whole
+trajectory; the paper (§2.2) points at the extended (or unscented)
+Kalman filter as the standard source of one.  This EKF linearizes the
+evolution around the filtered mean and the observation around the
+predicted mean — the textbook first-order filter — using the same
+Joseph-form update as the linear filter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..linalg.cholesky import spd_solve
+from ..linalg.triangular import instrumented_matmul
+from ..model.nonlinear import NonlinearProblem
+
+__all__ = ["extended_kalman_filter"]
+
+
+def extended_kalman_filter(
+    problem: NonlinearProblem,
+) -> list[np.ndarray]:
+    """Run a forward EKF; returns the filtered means.
+
+    Requires a prior (like every filter).  Covariances are tracked
+    internally but not returned — the nonlinear smoothers only need the
+    trajectory.
+    """
+    if problem.prior is None:
+        raise ValueError("the extended Kalman filter requires a prior")
+    m = np.asarray(problem.prior.mean, dtype=float)
+    p = problem.prior.cov_matrix()
+    means: list[np.ndarray] = []
+    for i, step in enumerate(problem.steps):
+        if i > 0:
+            f_jac = step.evolution_fn.jac(m)
+            c = step.c if step.c is not None else np.zeros(step.state_dim)
+            m = step.evolution_fn(m) + c
+            fp = instrumented_matmul(f_jac, p)
+            p = instrumented_matmul(fp, f_jac.T) + step.evolution_cov
+            p = 0.5 * (p + p.T)
+        if step.observation_fn is not None and step.observation is not None:
+            g_jac = step.observation_fn.jac(m)
+            innovation = step.observation - step.observation_fn(m)
+            pg_t = instrumented_matmul(p, g_jac.T)
+            s = instrumented_matmul(g_jac, pg_t) + step.observation_cov
+            gain = spd_solve(
+                0.5 * (s + s.T), pg_t.T, what="EKF innovation covariance"
+            ).T
+            m = m + instrumented_matmul(gain, innovation)
+            ikg = np.eye(p.shape[0]) - instrumented_matmul(gain, g_jac)
+            p = instrumented_matmul(
+                instrumented_matmul(ikg, p), ikg.T
+            ) + instrumented_matmul(
+                instrumented_matmul(gain, step.observation_cov), gain.T
+            )
+            p = 0.5 * (p + p.T)
+        means.append(m.copy())
+    return means

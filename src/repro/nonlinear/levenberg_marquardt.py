@@ -1,0 +1,196 @@
+"""Levenberg–Marquardt nonlinear Kalman smoothing (paper §5.4, ref. [17]).
+
+Särkkä & Svensson (2020) stabilize the iterated smoother by damping:
+each iteration solves the linearized problem *augmented with a
+regularization observation* ``sqrt(lambda) I (u_i - u^0_i) = 0`` on
+every state, then accepts or rejects the step based on the true
+objective and adapts ``lambda``.
+
+This is the workload the paper's NC variants are optimized for: the
+damped inner problems are solved many times and never need covariance
+matrices, so the Odd-Even NC / Paige–Saunders NC configurations skip
+the SelInv phase entirely (§5.4, §6) — an optimization the RTS and
+Associative smoothers cannot express.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.smoother import OddEvenSmoother
+from ..kalman.result import SmootherResult
+from ..model.nonlinear import NonlinearProblem
+from ..model.problem import StateSpaceProblem
+from ..model.steps import Observation, Step
+from ..parallel.backend import Backend, SerialBackend
+from .ekf import extended_kalman_filter
+
+__all__ = ["LevenbergMarquardtSmoother", "damp_problem", "LMTrace"]
+
+
+def damp_problem(
+    linear: StateSpaceProblem,
+    reference: list[np.ndarray],
+    lam: float,
+) -> StateSpaceProblem:
+    """Augment a linearized problem with LM damping observations.
+
+    Adds, for every state ``i``, the observation ``I u_i = u^0_i`` with
+    covariance ``(1/lambda) I`` — equivalently appending
+    ``sqrt(lambda)(u_i - u^0_i)`` rows to the least-squares system.
+    """
+    if lam < 0:
+        raise ValueError(f"lambda must be >= 0, got {lam}")
+    if lam == 0.0:
+        return linear
+    steps = []
+    for i, step in enumerate(linear.steps):
+        n = step.state_dim
+        ref = np.asarray(reference[i], dtype=float)
+        damp = Observation(G=np.eye(n), o=ref, L=(1.0 / lam) * np.eye(n))
+        if step.observation is None:
+            merged = damp
+        else:
+            obs = step.observation
+            # Stack the real observation rows with the damping rows;
+            # the joint covariance is block diagonal, expressed here by
+            # whitening each block with its own factor.
+            g = np.vstack([obs.G, damp.G])
+            o = np.concatenate([obs.o, damp.o])
+            l_top = obs.L.covariance()
+            l_cov = np.zeros((g.shape[0], g.shape[0]))
+            m = obs.rows
+            l_cov[:m, :m] = l_top
+            l_cov[m:, m:] = damp.L.covariance()
+            merged = Observation(G=g, o=o, L=l_cov)
+        steps.append(
+            Step(
+                state_dim=n,
+                evolution=step.evolution,
+                observation=merged,
+            )
+        )
+    return StateSpaceProblem(steps, prior=linear.prior)
+
+
+@dataclass
+class LMTrace:
+    """Per-iteration record of the damping schedule."""
+
+    objectives: list[float] = field(default_factory=list)
+    lambdas: list[float] = field(default_factory=list)
+    accepted: list[bool] = field(default_factory=list)
+    converged: bool = False
+
+    @property
+    def iterations(self) -> int:
+        return len(self.accepted)
+
+
+class LevenbergMarquardtSmoother:
+    """Damped iterated smoother with NC inner solves.
+
+    Parameters
+    ----------
+    inner:
+        Linear smoother for the damped subproblems (NC mode forced).
+    lambda0, lambda_up, lambda_down:
+        Initial damping and the multiplicative adaptation factors on
+        rejected/accepted steps.
+    """
+
+    name = "levenberg-marquardt"
+
+    def __init__(
+        self,
+        inner=None,
+        max_iterations: int = 50,
+        tol: float = 1e-9,
+        lambda0: float = 1e-2,
+        lambda_up: float = 10.0,
+        lambda_down: float = 0.1,
+        max_lambda: float = 1e12,
+    ):
+        self.inner = inner if inner is not None else OddEvenSmoother()
+        self.max_iterations = max_iterations
+        self.tol = tol
+        self.lambda0 = lambda0
+        self.lambda_up = lambda_up
+        self.lambda_down = lambda_down
+        self.max_lambda = max_lambda
+
+    def smooth(
+        self,
+        problem: NonlinearProblem,
+        backend: Backend | None = None,
+        initial: list[np.ndarray] | None = None,
+        compute_covariance: bool = True,
+    ) -> SmootherResult:
+        if backend is None:
+            backend = SerialBackend()
+        trajectory = (
+            [np.asarray(x, dtype=float) for x in initial]
+            if initial is not None
+            else extended_kalman_filter(problem)
+        )
+        lam = self.lambda0
+        trace = LMTrace()
+        current_obj = problem.objective(trajectory)
+        trace.objectives.append(current_obj)
+        for _ in range(self.max_iterations):
+            linear = problem.linearize(trajectory)
+            damped = damp_problem(linear, trajectory, lam)
+            candidate = self.inner.smooth(
+                damped, backend=backend, compute_covariance=False
+            ).means
+            new_obj = problem.objective(candidate)
+            if new_obj <= current_obj:
+                step_norm = np.sqrt(
+                    sum(
+                        float((a - b) @ (a - b))
+                        for a, b in zip(candidate, trajectory)
+                    )
+                )
+                trajectory = candidate
+                improvement = current_obj - new_obj
+                current_obj = new_obj
+                lam = max(lam * self.lambda_down, 1e-12)
+                trace.accepted.append(True)
+                trace.objectives.append(current_obj)
+                trace.lambdas.append(lam)
+                scale = np.sqrt(
+                    sum(float(a @ a) for a in trajectory)
+                )
+                if step_norm <= self.tol * max(scale, 1.0) or (
+                    improvement <= self.tol * max(current_obj, 1.0)
+                ):
+                    trace.converged = True
+                    break
+            else:
+                lam *= self.lambda_up
+                trace.accepted.append(False)
+                trace.objectives.append(current_obj)
+                trace.lambdas.append(lam)
+                if lam > self.max_lambda:
+                    break
+        covariances = None
+        if compute_covariance:
+            linear = problem.linearize(trajectory)
+            final = self.inner.smooth(
+                linear, backend=backend, compute_covariance=True
+            )
+            covariances = final.covariances
+        return SmootherResult(
+            means=trajectory,
+            covariances=covariances,
+            residual_sq=current_obj,
+            algorithm=f"levenberg-marquardt[{getattr(self.inner, 'name', '?')}]",
+            diagnostics={
+                "iterations": trace.iterations,
+                "converged": trace.converged,
+                "final_lambda": lam,
+                "trace": trace,
+            },
+        )

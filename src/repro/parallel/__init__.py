@@ -1,0 +1,60 @@
+"""Parallel runtime substrate: the TBB stand-in.
+
+Backends (:class:`SerialBackend`, :class:`ThreadPoolBackend`,
+:class:`RecordingBackend`) provide ``parallel_for``/``map`` with
+TBB-style block sizes; :mod:`~repro.parallel.prefix` provides the
+associative scans; recorded task graphs are replayed on calibrated
+machine models (:data:`GRAVITON3`, :data:`GOLD_6238R`,
+:data:`E5_2699V3`) by the schedulers in
+:mod:`~repro.parallel.scheduler`.
+"""
+
+from .allocator import ArenaAllocator, aligned_empty, is_aligned
+from .backend import (
+    Backend,
+    RecordingBackend,
+    SerialBackend,
+    ThreadPoolBackend,
+    blocked_ranges,
+)
+from .concurrent_set import ConcurrentSet
+from .machine import E5_2699V3, GOLD_6238R, GRAVITON3, MACHINES, MachineModel
+from .prefix import parallel_scan, scan, sequential_scan
+from .scheduler import (
+    SimulationResult,
+    greedy_schedule,
+    simulate_speedup_curve,
+    work_stealing_schedule,
+)
+from .tally import CostTally, measure_flops, tally_scope
+from .task_graph import PhaseRecord, TaskGraph, TaskRecord
+
+__all__ = [
+    "ArenaAllocator",
+    "aligned_empty",
+    "is_aligned",
+    "Backend",
+    "RecordingBackend",
+    "SerialBackend",
+    "ThreadPoolBackend",
+    "blocked_ranges",
+    "ConcurrentSet",
+    "MachineModel",
+    "MACHINES",
+    "GRAVITON3",
+    "GOLD_6238R",
+    "E5_2699V3",
+    "parallel_scan",
+    "sequential_scan",
+    "scan",
+    "SimulationResult",
+    "greedy_schedule",
+    "work_stealing_schedule",
+    "simulate_speedup_curve",
+    "CostTally",
+    "tally_scope",
+    "measure_flops",
+    "TaskGraph",
+    "PhaseRecord",
+    "TaskRecord",
+]

@@ -1,0 +1,129 @@
+"""Aligned arena allocation: the scalable-allocator stand-in.
+
+The paper links against TBB's scalable memory allocator and aligns
+allocations to 64-byte cache lines with ``posix_memalign`` "to avoid
+false sharing" (§5.1).  This module provides the equivalent substrate:
+
+* :func:`aligned_empty` — a float64 array whose data pointer is
+  64-byte aligned (NumPy's default allocations are only 16-byte
+  aligned on some platforms).
+* :class:`ArenaAllocator` — a per-thread free-list pool of aligned
+  buffers keyed by shape, with allocation statistics.  Reusing buffers
+  avoids allocator contention in threaded runs, which is the scalable
+  allocator's job in the paper's C code.
+
+The Fig 4 micro-benchmark (:mod:`repro.bench.microbench`) exercises the
+same four phases as the paper's: allocate step structures, allocate
+matrices, fill matrices, QR-factor them — the first two dominated by
+this module.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .tally import add_cost
+
+__all__ = ["aligned_empty", "is_aligned", "ArenaAllocator", "AllocatorStats"]
+
+CACHE_LINE = 64
+
+
+def aligned_empty(shape, align: int = CACHE_LINE) -> np.ndarray:
+    """Uninitialized float64 array with an ``align``-byte aligned base.
+
+    Over-allocates by one alignment unit and returns a view at the
+    first aligned offset — the portable equivalent of
+    ``posix_memalign``.
+    """
+    if align <= 0 or align % 8:
+        raise ValueError(f"align must be a positive multiple of 8, got {align}")
+    shape = (shape,) if np.isscalar(shape) else tuple(shape)
+    count = int(np.prod(shape)) if shape else 1
+    nbytes = count * 8
+    raw = np.empty(nbytes + align, dtype=np.uint8)
+    offset = (-raw.ctypes.data) % align
+    view = raw[offset : offset + nbytes].view(np.float64)
+    add_cost(0.0, float(nbytes))
+    return view.reshape(shape)
+
+
+def is_aligned(a: np.ndarray, align: int = CACHE_LINE) -> bool:
+    """Whether the array's data pointer is ``align``-byte aligned."""
+    return a.ctypes.data % align == 0
+
+
+@dataclass
+class AllocatorStats:
+    """Counters exposed by :class:`ArenaAllocator`."""
+
+    allocations: int = 0
+    reuses: int = 0
+    releases: int = 0
+    bytes_allocated: int = 0
+
+    def merge(self, other: "AllocatorStats") -> None:
+        self.allocations += other.allocations
+        self.reuses += other.reuses
+        self.releases += other.releases
+        self.bytes_allocated += other.bytes_allocated
+
+
+@dataclass
+class _ThreadArena(threading.local):
+    pools: dict = field(default_factory=dict)
+    stats: AllocatorStats = field(default_factory=AllocatorStats)
+
+
+class ArenaAllocator:
+    """Thread-local pooling allocator for aligned float64 buffers.
+
+    Each thread keeps free lists keyed by array shape; ``allocate``
+    pops from the local pool when possible (no locking, no contention)
+    and falls back to :func:`aligned_empty`.  ``release`` returns a
+    buffer to the local pool.  ``drain`` empties every pool that this
+    thread can see and is intended for end-of-run cleanup.
+    """
+
+    def __init__(self, align: int = CACHE_LINE, max_pool_per_shape: int = 64):
+        self.align = align
+        self.max_pool_per_shape = max_pool_per_shape
+        self._arena = _ThreadArena()
+        self._global_lock = threading.Lock()
+        self._global_stats = AllocatorStats()
+
+    def allocate(self, shape) -> np.ndarray:
+        shape = (shape,) if np.isscalar(shape) else tuple(shape)
+        pool = self._arena.pools.get(shape)
+        if pool:
+            self._arena.stats.reuses += 1
+            return pool.pop()
+        self._arena.stats.allocations += 1
+        self._arena.stats.bytes_allocated += int(np.prod(shape)) * 8
+        return aligned_empty(shape, self.align)
+
+    def release(self, a: np.ndarray) -> None:
+        shape = a.shape
+        pool = self._arena.pools.setdefault(shape, [])
+        if len(pool) < self.max_pool_per_shape:
+            pool.append(a)
+        self._arena.stats.releases += 1
+
+    def drain(self) -> None:
+        """Drop this thread's pooled buffers and publish its stats."""
+        with self._global_lock:
+            self._global_stats.merge(self._arena.stats)
+        self._arena.pools.clear()
+        self._arena.stats = AllocatorStats()
+
+    @property
+    def stats(self) -> AllocatorStats:
+        """This thread's live stats merged with drained global stats."""
+        merged = AllocatorStats()
+        with self._global_lock:
+            merged.merge(self._global_stats)
+        merged.merge(self._arena.stats)
+        return merged

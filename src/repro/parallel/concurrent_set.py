@@ -1,0 +1,96 @@
+"""A lock-striped concurrent set.
+
+The paper's implementation of the Särkkä–García-Fernández smoother
+"includes a concurrent-set data structure ... to ensure that all memory
+allocated in the scope of parallel scan operations is released when
+they complete" (§3.2).  We reproduce that substrate: a hash-striped set
+safe for concurrent mutation from the thread-pool backend, used by
+:func:`repro.parallel.prefix.parallel_scan` to track intermediate scan
+elements and drop them at completion.
+
+Striping (rather than one global lock) keeps contention low when many
+worker threads register allocations simultaneously — the same design
+rationale as TBB's ``concurrent_unordered_set``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Hashable, Iterable
+
+__all__ = ["ConcurrentSet"]
+
+
+class ConcurrentSet:
+    """A thread-safe set with per-stripe locking.
+
+    Parameters
+    ----------
+    stripes:
+        Number of independent lock-protected buckets.  Must be a
+        positive power-of-two-ish small integer; 16 matches the worker
+        counts we simulate.
+    """
+
+    def __init__(self, stripes: int = 16):
+        if stripes < 1:
+            raise ValueError(f"stripes must be >= 1, got {stripes}")
+        self._stripes = stripes
+        self._locks = [threading.Lock() for _ in range(stripes)]
+        self._buckets: list[set] = [set() for _ in range(stripes)]
+
+    def _bucket(self, item: Hashable) -> int:
+        return hash(item) % self._stripes
+
+    def add(self, item: Hashable) -> bool:
+        """Insert ``item``; returns True if it was not already present."""
+        b = self._bucket(item)
+        with self._locks[b]:
+            before = len(self._buckets[b])
+            self._buckets[b].add(item)
+            return len(self._buckets[b]) != before
+
+    def discard(self, item: Hashable) -> bool:
+        """Remove ``item`` if present; returns True if it was removed."""
+        b = self._bucket(item)
+        with self._locks[b]:
+            if item in self._buckets[b]:
+                self._buckets[b].remove(item)
+                return True
+            return False
+
+    def update(self, items: Iterable[Hashable]) -> None:
+        for item in items:
+            self.add(item)
+
+    def __contains__(self, item: Hashable) -> bool:
+        b = self._bucket(item)
+        with self._locks[b]:
+            return item in self._buckets[b]
+
+    def __len__(self) -> int:
+        total = 0
+        for lock, bucket in zip(self._locks, self._buckets):
+            with lock:
+                total += len(bucket)
+        return total
+
+    def snapshot(self) -> set:
+        """A point-in-time copy of the contents."""
+        out: set = set()
+        for lock, bucket in zip(self._locks, self._buckets):
+            with lock:
+                out |= bucket
+        return out
+
+    def clear(self) -> int:
+        """Remove everything; returns how many items were dropped.
+
+        This is the release-at-scan-completion operation from §3.2.
+        """
+        dropped = 0
+        for lock, bucket in zip(self._locks, self._buckets):
+            with lock:
+                dropped += len(bucket)
+                bucket.clear()
+        return dropped

@@ -1,0 +1,192 @@
+"""Calibrated multicore machine models.
+
+The paper evaluates on three shared-memory servers (§5.3):
+
+* Amazon **Graviton3**: 64 ARM cores @ 2.6 GHz, single socket.
+* 2x Intel **Xeon Gold 6238R**: 28 + 28 cores @ 2.2 GHz base (high
+  single-core turbo), dual socket.
+* 2x Intel Xeon **E5-2699v3**: 18 + 18 cores @ 2.3 GHz ("results are
+  similar [to the Gold] and are not shown").
+
+We model a server with a small roofline-style parameter set and let the
+discrete-event scheduler (:mod:`repro.parallel.scheduler`) replay
+recorded task graphs on it.  Per task::
+
+    t = max(flops / rate(p),  bytes / bw_per_core(p))
+        + kernel_calls * kernel_overhead + spawn_overhead
+
+* ``rate(p)`` — per-core flop rate, interpolating between a single-core
+  turbo rate and an all-core rate (models turbo/AVX downclocking, the
+  main reason the paper's Intel speedups cap near 15-18x even for
+  compute-bound QR, Fig 4).
+* ``bw_per_core(p)`` — each active core's share of memory bandwidth;
+  total bandwidth ramps with cores, saturates per socket, and crossing
+  the socket boundary applies a NUMA efficiency factor (the Gold
+  6238R's stagnation beyond 28 cores, §5.4).
+* ``spawn_overhead`` — per-task scheduling cost; with TBB-style
+  blocking this is what makes very small block sizes slightly and very
+  large block sizes severely suboptimal (Fig 6 left).
+
+The models reproduce the *shape* claims of the paper's figures, not the
+absolute seconds of the authors' servers; calibration constants were
+chosen to land near the paper's reported anchors (~47x Odd-Even and
+~59x pure-QR speedup on 64 Graviton3 cores; ~15-18x caps on the Xeon;
+memory phases saturating early on both).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MachineModel", "GRAVITON3", "GOLD_6238R", "E5_2699V3", "MACHINES"]
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Roofline-plus-overheads model of a multicore server."""
+
+    name: str
+    cores: int
+    cores_per_socket: int
+    #: double-precision Gflop/s of one core at the all-core clock, for
+    #: LAPACK-sized small blocks (not theoretical peak).
+    gflops_per_core: float
+    #: single-core turbo multiplier on the flop rate (1.0 = no turbo).
+    turbo_single: float
+    #: all-core multiplier (models sustained AVX/mesh downclock).
+    turbo_all: float
+    #: GB/s of memory bandwidth available to one active core.
+    bw_single_gbs: float
+    #: GB/s at which one socket's memory system saturates.
+    bw_socket_gbs: float
+    #: efficiency factor applied beyond one socket (NUMA traffic).
+    numa_efficiency: float
+    #: compute-rate factor applied when more than one socket is active
+    #: (UPI coherence traffic + package-level power steering; this is
+    #: what makes the paper's dual-socket Xeon "mostly stagnate"
+    #: beyond 28 cores, §5.4).
+    cross_socket_compute: float = 1.0
+    #: seconds to spawn/steal one task (TBB scheduling cost).
+    spawn_overhead_s: float = 5e-7
+    #: seconds per instrumented kernel call (BLAS call overhead).
+    kernel_overhead_s: float = 2.5e-7
+    #: per-phase barrier cost: ``barrier_base + barrier_log * log2(p)``.
+    barrier_base_s: float = 1e-6
+    barrier_log_s: float = 3e-7
+    #: relative stddev of per-task work-stealing jitter at full machine.
+    steal_sigma: float = 0.02
+    #: relative stddev of single-core (measurement) noise.
+    serial_sigma: float = 0.003
+
+    def validate(self) -> None:
+        if self.cores < 1 or self.cores_per_socket < 1:
+            raise ValueError("core counts must be positive")
+        if self.cores % self.cores_per_socket:
+            raise ValueError("cores must be a multiple of cores_per_socket")
+
+    @property
+    def sockets(self) -> int:
+        return self.cores // self.cores_per_socket
+
+    def rate_per_core(self, p: int) -> float:
+        """Flops/s of each core when ``p`` cores are active."""
+        p = max(1, min(p, self.cores))
+        if self.cores == 1:
+            frac = 0.0
+        else:
+            frac = (p - 1) / (self.cores - 1)
+        turbo = self.turbo_single + frac * (self.turbo_all - self.turbo_single)
+        rate = self.gflops_per_core * 1e9 * turbo
+        if p > self.cores_per_socket:
+            rate *= self.cross_socket_compute
+        return rate
+
+    def bw_per_core(self, p: int) -> float:
+        """Bytes/s of memory bandwidth each of ``p`` active cores gets."""
+        p = max(1, min(p, self.cores))
+        sockets_used = -(-p // self.cores_per_socket)  # ceil division
+        total = min(
+            p * self.bw_single_gbs, sockets_used * self.bw_socket_gbs
+        )
+        if sockets_used > 1:
+            total *= self.numa_efficiency
+        return total * 1e9 / p
+
+    def task_seconds(
+        self, flops: float, bytes_moved: float, kernel_calls: int, p: int
+    ) -> float:
+        """Roofline execution time of one task with ``p`` cores active."""
+        rate = self.rate_per_core(p)
+        compute = flops / rate
+        memory = bytes_moved / self.bw_per_core(p)
+        # Call/spawn overheads are CPU work: they ride the same
+        # effective clock as the flops (turbo at low p, downclock and
+        # cross-socket penalties at high p).
+        overhead_scale = self.gflops_per_core * 1e9 / rate
+        return max(compute, memory) + overhead_scale * (
+            kernel_calls * self.kernel_overhead_s + self.spawn_overhead_s
+        )
+
+    def barrier_seconds(self, p: int) -> float:
+        """Cost of the implicit barrier that ends a fork-join phase."""
+        if p <= 1:
+            return self.barrier_base_s
+        return self.barrier_base_s + self.barrier_log_s * (
+            max(1, (p - 1)).bit_length()
+        )
+
+
+#: AWS c7g.metal: 64 Neoverse-V1 cores, one socket, DDR5-4800 x 8ch.
+#: No turbo; near-linear compute scaling (Fig 4 left: QR phase 59x/64).
+GRAVITON3 = MachineModel(
+    name="Graviton3",
+    cores=64,
+    cores_per_socket=64,
+    gflops_per_core=7.0,
+    turbo_single=1.0,
+    turbo_all=0.96,
+    bw_single_gbs=14.0,
+    bw_socket_gbs=190.0,
+    numa_efficiency=1.0,
+    steal_sigma=0.005,
+    serial_sigma=0.0016,
+)
+
+#: Dual Xeon Gold 6238R: 2 x 28 cores @ 2.2 GHz base / 4.0 GHz turbo.
+#: High single-core turbo plus heavy all-core downclock and NUMA cost
+#: cap compute speedups near 15-18x and stall scaling past one socket
+#: (Fig 4 right; §5.4 "mostly stagnates beyond" 28 cores).
+GOLD_6238R = MachineModel(
+    name="Gold-6238R",
+    cores=56,
+    cores_per_socket=28,
+    gflops_per_core=9.0,
+    turbo_single=1.75,
+    turbo_all=0.95,
+    bw_single_gbs=12.0,
+    bw_socket_gbs=95.0,
+    numa_efficiency=0.52,
+    cross_socket_compute=0.72,
+    steal_sigma=0.028,
+    serial_sigma=0.0027,
+)
+
+#: Dual Xeon E5-2699v3 (Haswell): 2 x 18 cores @ 2.3 GHz.  The paper
+#: reports results "similar to the Gold 6238R" and omits the figures;
+#: we ship the model for completeness.
+E5_2699V3 = MachineModel(
+    name="E5-2699v3",
+    cores=36,
+    cores_per_socket=18,
+    gflops_per_core=7.5,
+    turbo_single=1.55,
+    turbo_all=0.95,
+    bw_single_gbs=10.0,
+    bw_socket_gbs=55.0,
+    numa_efficiency=0.55,
+    cross_socket_compute=0.75,
+    steal_sigma=0.025,
+    serial_sigma=0.0027,
+)
+
+MACHINES = {m.name: m for m in (GRAVITON3, GOLD_6238R, E5_2699V3)}

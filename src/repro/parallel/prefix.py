@@ -1,0 +1,153 @@
+"""Sequential and parallel prefix (scan) over an associative operation.
+
+The Särkkä–García-Fernández smoother (paper §2.3) expresses both the
+forward (filtering) and backward (smoothing) sweeps as *generalized
+prefix sums* of associative operators.  We implement:
+
+``sequential_scan``
+    The obvious ``k - 1``-combine left fold, used by the sequential
+    build of the Associative smoother.
+
+``parallel_scan``
+    The recursive pair-and-expand scheme (Ladner–Fischer / the scheme
+    behind ``tbb::parallel_scan``): combine adjacent pairs (one
+    parallel round), recurse on the half-length sequence, then expand
+    back (a second parallel round).  Work is at most ``2k`` combines —
+    the structural source of the parallel algorithm's ~2x arithmetic
+    overhead that the paper measures — and depth is ``2 log2 k``
+    combine rounds.
+
+Both accept any ``combine(left, right)`` where *left precedes right*
+in time; no commutativity is assumed.  ``reverse=True`` runs the scan
+right-to-left, which is how the smoothing (backward) pass is expressed.
+
+Intermediate elements created inside the parallel scan are registered
+in a :class:`~repro.parallel.concurrent_set.ConcurrentSet` and dropped
+when the scan completes, mirroring the memory-release discipline the
+paper implements for its TBB ``parallel_scan`` (§3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence, TypeVar
+
+from .backend import Backend, SerialBackend
+from .concurrent_set import ConcurrentSet
+
+T = TypeVar("T")
+
+__all__ = ["sequential_scan", "parallel_scan", "scan"]
+
+
+def sequential_scan(
+    items: Sequence[T], combine: Callable[[T, T], T], *, reverse: bool = False
+) -> list[T]:
+    """Inclusive prefix of ``combine`` over ``items`` (left fold)."""
+    if len(items) == 0:
+        return []
+    if reverse:
+        flipped = sequential_scan(
+            list(reversed(items)), lambda a, b: combine(b, a)
+        )
+        return list(reversed(flipped))
+    out = [items[0]]
+    for item in items[1:]:
+        out.append(combine(out[-1], item))
+    return out
+
+
+def parallel_scan(
+    items: Sequence[T],
+    combine: Callable[[T, T], T],
+    backend: Backend | None = None,
+    *,
+    reverse: bool = False,
+    phase: str = "scan",
+) -> list[T]:
+    """Inclusive prefix of ``combine`` using the recursive pair scheme.
+
+    Produces exactly the same result as :func:`sequential_scan` for an
+    associative ``combine`` (verified property-based in the tests), at
+    about twice the combine count.
+    """
+    if backend is None:
+        backend = SerialBackend()
+    items = list(items)
+    if reverse:
+        flipped = parallel_scan(
+            list(reversed(items)),
+            lambda a, b: combine(b, a),
+            backend,
+            phase=phase,
+        )
+        return list(reversed(flipped))
+    scratch: ConcurrentSet = ConcurrentSet()
+    try:
+        return _scan_recursive(items, combine, backend, phase, 0, scratch)
+    finally:
+        scratch.clear()
+
+
+def _scan_recursive(
+    items: list[T],
+    combine: Callable[[T, T], T],
+    backend: Backend,
+    phase: str,
+    level: int,
+    scratch: ConcurrentSet,
+) -> list[T]:
+    k = len(items)
+    if k == 0:
+        return []
+    if k == 1:
+        return [items[0]]
+    if k == 2:
+        return [items[0], combine(items[0], items[1])]
+
+    npairs = k // 2
+
+    def up(i: int) -> T:
+        merged = combine(items[2 * i], items[2 * i + 1])
+        scratch.add(id(merged))
+        return merged
+
+    pairs = backend.map(
+        range(npairs), up, phase=f"{phase}/up[{level}]"
+    )
+    pair_prefix = _scan_recursive(
+        pairs, combine, backend, phase, level + 1, scratch
+    )
+
+    out: list[Any] = [None] * k
+    out[0] = items[0]
+    for i in range(npairs):
+        out[2 * i + 1] = pair_prefix[i]
+
+    even_targets = [2 * i for i in range(1, (k + 1) // 2)]
+
+    def down(j: int) -> T:
+        return combine(pair_prefix[j // 2 - 1], items[j])
+
+    filled = backend.map(
+        even_targets, down, phase=f"{phase}/down[{level}]"
+    )
+    for j, value in zip(even_targets, filled):
+        out[j] = value
+    return out
+
+
+def scan(
+    items: Sequence[T],
+    combine: Callable[[T, T], T],
+    backend: Backend | None = None,
+    *,
+    parallel: bool = True,
+    reverse: bool = False,
+    phase: str = "scan",
+) -> list[T]:
+    """Dispatch between the sequential and parallel scan algorithms."""
+    if parallel:
+        return parallel_scan(
+            items, combine, backend, reverse=reverse, phase=phase
+        )
+    return sequential_scan(items, combine, reverse=reverse)

@@ -1,0 +1,134 @@
+"""Cost accounting for instrumented kernels.
+
+Every dense kernel in :mod:`repro.linalg` reports the floating-point
+operations it performs and an estimate of the bytes it moves to the
+*active tally*.  Backends (see :mod:`repro.parallel.backend`) install a
+tally around each task body so that a recorded task graph carries
+per-task costs; the discrete-event machine simulator then schedules
+those costs onto a modeled multicore server.
+
+The tally is intentionally tiny and allocation-free in the hot path: a
+thread-local stack of :class:`CostTally` objects and a module-level
+``add_cost`` function.  When no tally is active, ``add_cost`` is a
+no-op, so uninstrumented runs pay a single attribute lookup per kernel
+call.
+
+The same mechanism is used to measure the *work overhead* ratios the
+paper reports in §1 and §5.4 (parallel algorithms perform 1.8x-2.7x the
+arithmetic of their sequential counterparts).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CostTally:
+    """Accumulator for arithmetic and memory-traffic costs.
+
+    Attributes
+    ----------
+    flops:
+        Floating-point operations (adds + multiplies, LAPACK-style
+        counts from :mod:`repro.linalg.flops`).
+    bytes_moved:
+        Estimated bytes read plus written by the kernels.  This is a
+        coarse model (operands touched once) used by the machine model
+        to capture memory-bandwidth saturation, not a cache simulation.
+    kernel_calls:
+        Number of instrumented kernel invocations, used to charge
+        per-call overheads.
+    """
+
+    flops: float = 0.0
+    bytes_moved: float = 0.0
+    kernel_calls: int = 0
+
+    def add(self, flops: float, bytes_moved: float = 0.0) -> None:
+        """Accumulate one kernel's cost into this tally."""
+        self.flops += flops
+        self.bytes_moved += bytes_moved
+        self.kernel_calls += 1
+
+    def merge(self, other: "CostTally") -> None:
+        """Fold another tally's totals into this one."""
+        self.flops += other.flops
+        self.bytes_moved += other.bytes_moved
+        self.kernel_calls += other.kernel_calls
+
+    def snapshot(self) -> "CostTally":
+        """Return an independent copy of the current totals."""
+        return CostTally(self.flops, self.bytes_moved, self.kernel_calls)
+
+    def __bool__(self) -> bool:  # pragma: no cover - trivial
+        return self.kernel_calls > 0
+
+
+@dataclass
+class _TallyState(threading.local):
+    """Thread-local stack of active tallies."""
+
+    stack: list = field(default_factory=list)
+
+
+_STATE = _TallyState()
+
+
+def push_tally(tally: CostTally) -> None:
+    """Make ``tally`` the active cost accumulator on this thread."""
+    _STATE.stack.append(tally)
+
+
+def pop_tally() -> CostTally:
+    """Remove and return the innermost active tally on this thread."""
+    return _STATE.stack.pop()
+
+
+def active_tally() -> CostTally | None:
+    """Return the innermost active tally, or ``None`` when uninstrumented."""
+    stack = _STATE.stack
+    return stack[-1] if stack else None
+
+
+def add_cost(flops: float, bytes_moved: float = 0.0) -> None:
+    """Report a kernel cost to every active tally on this thread.
+
+    Costs propagate to *all* tallies on the stack so that a per-task
+    tally and an enclosing whole-run tally can both observe the same
+    kernel.  With an empty stack this is a cheap no-op.
+    """
+    for tally in _STATE.stack:
+        tally.add(flops, bytes_moved)
+
+
+class tally_scope:
+    """Context manager installing a tally for the duration of a block.
+
+    >>> t = CostTally()
+    >>> with tally_scope(t):
+    ...     pass  # instrumented kernels called here report into ``t``
+    """
+
+    def __init__(self, tally: CostTally | None = None):
+        self.tally = tally if tally is not None else CostTally()
+
+    def __enter__(self) -> CostTally:
+        push_tally(self.tally)
+        return self.tally
+
+    def __exit__(self, *exc) -> None:
+        pop_tally()
+
+
+def measure_flops(fn, *args, **kwargs):
+    """Run ``fn`` under a fresh tally; return ``(result, tally)``.
+
+    Convenience used by the overhead benchmarks: the paper's 1.8x-2.5x
+    single-core overhead claim is an arithmetic-count statement, which
+    this helper makes directly measurable.
+    """
+    with tally_scope() as tally:
+        result = fn(*args, **kwargs)
+    return result, tally

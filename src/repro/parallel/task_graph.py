@@ -1,0 +1,136 @@
+"""Recorded task graphs: the unit the machine simulator schedules.
+
+The paper's algorithms are *fork-join* computations: a sequence of
+phases (TBB ``parallel_for``/``parallel_scan`` invocations, or serial
+sweeps), each containing independent tasks.  A task here is one
+scheduling unit — a block of ``block_size`` consecutive loop
+iterations, exactly TBB's grainsize notion (paper §5.1: "a particular
+block size, the number of iterations or data items that are performed
+sequentially to reduce scheduling overheads").
+
+The :class:`RecordingBackend` (see :mod:`repro.parallel.backend`) runs
+an algorithm once, numerically, while building one :class:`TaskGraph`;
+the schedulers in :mod:`repro.parallel.scheduler` then replay that
+graph on a modeled machine with any core count.  This mirrors how the
+paper's C code hands the same task structure to TBB on servers of
+different sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TaskRecord", "PhaseRecord", "TaskGraph"]
+
+
+@dataclass
+class TaskRecord:
+    """Cost of one scheduling unit (a block of loop iterations)."""
+
+    flops: float = 0.0
+    bytes_moved: float = 0.0
+    kernel_calls: int = 0
+    items: int = 0
+
+    def merge(self, other: "TaskRecord") -> None:
+        self.flops += other.flops
+        self.bytes_moved += other.bytes_moved
+        self.kernel_calls += other.kernel_calls
+        self.items += other.items
+
+
+@dataclass
+class PhaseRecord:
+    """One fork-join phase: independent tasks separated by barriers.
+
+    ``kind`` is one of:
+
+    ``"parallel_for"``
+        Tasks may run concurrently (a TBB ``parallel_for`` batch).
+    ``"serial"``
+        Tasks are a dependency chain; the scheduler runs them on one
+        core regardless of how many are available (used for the
+        sequential baseline algorithms and for inherently serial
+        setup work).
+    """
+
+    name: str
+    kind: str = "parallel_for"
+    tasks: list[TaskRecord] = field(default_factory=list)
+
+    @property
+    def flops(self) -> float:
+        return sum(t.flops for t in self.tasks)
+
+    @property
+    def bytes_moved(self) -> float:
+        return sum(t.bytes_moved for t in self.tasks)
+
+    @property
+    def max_task_flops(self) -> float:
+        return max((t.flops for t in self.tasks), default=0.0)
+
+    @property
+    def items(self) -> int:
+        return sum(t.items for t in self.tasks)
+
+
+@dataclass
+class TaskGraph:
+    """An ordered list of phases with barrier semantics between them."""
+
+    phases: list[PhaseRecord] = field(default_factory=list)
+
+    def new_phase(self, name: str, kind: str = "parallel_for") -> PhaseRecord:
+        phase = PhaseRecord(name=name, kind=kind)
+        self.phases.append(phase)
+        return phase
+
+    @property
+    def work_flops(self) -> float:
+        """Total arithmetic: the ``T_1`` of the work/span analysis (§3.3)."""
+        return sum(p.flops for p in self.phases)
+
+    @property
+    def bytes_moved(self) -> float:
+        return sum(p.bytes_moved for p in self.phases)
+
+    @property
+    def span_flops(self) -> float:
+        """Critical-path arithmetic: the flop analogue of ``T_inf``.
+
+        For a fork-join graph the span is the sum over phases of the
+        largest task in each phase (serial phases contribute their full
+        work).
+        """
+        span = 0.0
+        for p in self.phases:
+            span += p.flops if p.kind == "serial" else p.max_task_flops
+        return span
+
+    @property
+    def n_tasks(self) -> int:
+        return sum(len(p.tasks) for p in self.phases)
+
+    def parallelism(self) -> float:
+        """Average available parallelism ``T_1 / T_inf`` in flop terms."""
+        span = self.span_flops
+        return self.work_flops / span if span > 0 else 1.0
+
+    def summary(self) -> str:
+        """Human-readable per-phase summary used by the bench harness."""
+        lines = [
+            f"{'phase':40s} {'kind':12s} {'tasks':>7s} {'Gflop':>9s} "
+            f"{'max task Mflop':>15s}"
+        ]
+        for p in self.phases:
+            lines.append(
+                f"{p.name[:40]:40s} {p.kind:12s} {len(p.tasks):7d} "
+                f"{p.flops / 1e9:9.4f} {p.max_task_flops / 1e6:15.4f}"
+            )
+        lines.append(
+            f"total work {self.work_flops / 1e9:.4f} Gflop, span "
+            f"{self.span_flops / 1e6:.4f} Mflop, parallelism "
+            f"{self.parallelism():.1f}"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,125 @@
+"""Shape tests for the figure regenerators (small problem sizes).
+
+These assert the *qualitative* claims of each paper figure on reduced
+workloads; the full-size regeneration lives in ``benchmarks/``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.figures import (
+    fig1_structure,
+    fig2_running_times,
+    fig3_speedups,
+    fig5_variability,
+    fig6_blocksize,
+    overhead_table,
+    record_graph,
+    stability_table,
+)
+from repro.bench.workloads import Workload
+from repro.parallel.machine import GOLD_6238R, GRAVITON3
+
+TINY = Workload(name="tiny", n=4, k=300, paper_n=4, paper_k=300)
+
+
+@pytest.fixture(scope="module")
+def tiny_times():
+    return fig2_running_times(
+        TINY,
+        GRAVITON3,
+        core_counts=[1, 8, 64],
+        variants=("Odd-Even", "Odd-Even NC", "Paige-Saunders", "Kalman"),
+    )
+
+
+class TestFig1:
+    def test_structure(self):
+        data = fig1_structure(k=20)
+        occ = data["occupancy"]
+        assert occ.shape == (21, 21)
+        assert np.array_equal(occ, np.triu(occ))
+        assert data["order"][: len(data["levels"][0])] == data["levels"][0]
+        assert 21 <= data["nonzero_blocks"] <= 3 * 21
+
+
+class TestFig2And3:
+    def test_parallel_beats_sequential_at_scale(self, tiny_times):
+        """Fig 2's headline: given cores, parallel wins."""
+        assert tiny_times["Odd-Even"][64] < tiny_times["Paige-Saunders"][64]
+
+    def test_sequential_lines_flat(self, tiny_times):
+        ps = tiny_times["Paige-Saunders"]
+        assert ps[1] == ps[8] == ps[64]
+
+    def test_parallel_slower_on_one_core(self, tiny_times):
+        """The 1.8-2.5x single-core overhead (paper §1)."""
+        assert tiny_times["Odd-Even"][1] > tiny_times["Paige-Saunders"][1]
+
+    def test_nc_faster_than_full(self, tiny_times):
+        for p in (1, 8, 64):
+            assert tiny_times["Odd-Even NC"][p] < tiny_times["Odd-Even"][p]
+
+    def test_speedups_relative_to_one_core(self, tiny_times):
+        speedups = fig3_speedups(tiny_times)
+        assert speedups["Odd-Even"][1] == pytest.approx(1.0)
+        assert speedups["Odd-Even"][64] > 4.0
+
+
+class TestFig5:
+    def test_multicore_spread_wider(self):
+        data = fig5_variability(
+            workload=TINY, machine=GOLD_6238R, runs=30
+        )
+        assert (
+            data[28]["max_deviation_pct"] > data[1]["max_deviation_pct"]
+        )
+        assert data[1]["max_deviation_pct"] < 2.0
+
+
+class TestFig6:
+    def test_blocksize_sweep_shape(self):
+        """Small blocks fine; huge blocks starve parallelism."""
+        times = fig6_blocksize(
+            workload=TINY,
+            cores=64,
+            block_sizes=(1, 4, 150, 1200),
+        )
+        assert times[1200] > 2 * times[1]
+        assert times[4] < times[150]
+
+
+class TestOverheadTable:
+    def test_ratios_in_paper_bands(self):
+        # Computed on the real workload sizes is slow; monkeypatch a
+        # small one through the public API instead.
+        import repro.bench.figures as figures
+        import repro.bench.workloads as workloads
+
+        small = {
+            "n6": Workload(name="n6", n=6, k=250, paper_n=6, paper_k=0),
+        }
+        orig = workloads.WORKLOADS
+        figures.WORKLOADS, workloads.WORKLOADS = small, small
+        try:
+            table = overhead_table(workloads=("n6",))
+        finally:
+            figures.WORKLOADS, workloads.WORKLOADS = orig, orig
+        row = table["n=6 k=250"]
+        assert 1.5 < row["odd-even / paige-saunders"] < 3.0
+        assert 1.5 < row["associative / kalman"] < 3.5
+
+
+class TestStability:
+    def test_normal_equations_degrade(self):
+        table = stability_table(conds=(1e0, 1e10), n=3, k=20)
+        well = table[1e0]
+        ill = table[1e10]
+        assert ill["normal-equations"] > 1e3 * well["normal-equations"]
+        assert ill["odd-even"] < 1e-6
+
+
+class TestRecordGraph:
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError, match="unknown variant"):
+            record_graph("Bogus", TINY.build())

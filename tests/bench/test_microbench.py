@@ -1,0 +1,54 @@
+"""Tests for the Fig 4 micro-benchmark."""
+
+import pytest
+
+from repro.bench.microbench import (
+    PHASES,
+    microbench_speedups,
+    run_microbench,
+)
+from repro.parallel.machine import GOLD_6238R, GRAVITON3
+
+
+class TestRun:
+    def test_produces_graph_per_phase(self):
+        result = run_microbench(n=8, k=50)
+        assert set(result.graphs) == set(PHASES)
+        for phase, graph in result.graphs.items():
+            assert graph.n_tasks == -(-50 // 8), phase  # ceil(k/8)
+
+    def test_qr_phase_carries_flops(self):
+        result = run_microbench(n=8, k=40)
+        assert result.graphs["QR Factorization"].work_flops > 0
+        assert result.graphs["Allocate Matrix"].work_flops == 0.0
+        assert result.graphs["Allocate Matrix"].bytes_moved > 0
+
+    def test_allocator_stats(self):
+        result = run_microbench(n=4, k=30)
+        assert result.allocator_stats["allocations"] == 30
+
+
+class TestSpeedups:
+    @pytest.fixture(scope="class")
+    def graviton(self):
+        # Enough tasks (k/8 = 250) that 64-core load imbalance is
+        # negligible, as at the paper's k = 100,000.
+        return microbench_speedups(GRAVITON3, [1, 16, 64], n=48, k=2000)
+
+    def test_qr_scales_best(self, graviton):
+        """Fig 4: the QR phase is the best-scaling of the four."""
+        qr = graviton["QR Factorization"][64]
+        for phase in PHASES[:3]:
+            assert graviton[phase][64] <= qr + 1e-9
+
+    def test_qr_near_linear_on_arm(self, graviton):
+        assert graviton["QR Factorization"][64] > 40
+
+    def test_memory_phases_scale_poorly(self, graviton):
+        """'the memory allocation phases scale poorly' (§5.3)."""
+        for phase in ("Allocate Structure", "Allocate Matrix", "Fill Matrix"):
+            assert graviton[phase][64] < 25
+
+    def test_intel_qr_caps(self):
+        gold = microbench_speedups(GOLD_6238R, [1, 28, 56], n=16, k=600)
+        assert gold["QR Factorization"][56] < 30

@@ -1,0 +1,61 @@
+"""Tests for benchmark workload definitions."""
+
+import pytest
+
+from repro.bench.workloads import (
+    SMOKE_WORKLOADS,
+    WORKLOADS,
+    Workload,
+    core_counts_for,
+    paper_scale,
+)
+from repro.parallel.machine import GOLD_6238R, GRAVITON3
+
+
+class TestWorkloads:
+    def test_paper_sizes_recorded(self):
+        assert WORKLOADS["n6"].paper_k == 5_000_000
+        assert WORKLOADS["n48"].paper_k == 100_000
+        assert WORKLOADS["n500"].paper_n == 500
+
+    def test_scaled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PAPER_SCALE", raising=False)
+        assert not paper_scale()
+        wl = WORKLOADS["n6"]
+        n, k = wl.effective
+        assert (n, k) == (wl.n, wl.k)
+        assert wl.block_size == wl.scaled_block_size
+
+    def test_paper_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PAPER_SCALE", "1")
+        assert paper_scale()
+        wl = WORKLOADS["n6"]
+        assert wl.effective == (6, 5_000_000)
+        assert wl.block_size == 10
+
+    def test_build_produces_problem(self):
+        p = SMOKE_WORKLOADS["n48"].build()
+        assert p.state_dims[0] == 48
+
+    def test_label(self):
+        assert "n=" in WORKLOADS["n6"].label()
+
+    def test_seed_fixed(self):
+        a = SMOKE_WORKLOADS["n6"].build()
+        b = SMOKE_WORKLOADS["n6"].build()
+        import numpy as np
+
+        assert np.allclose(
+            a.steps[0].observation.o, b.steps[0].observation.o
+        )
+
+
+class TestCoreCounts:
+    def test_graviton(self):
+        counts = core_counts_for(GRAVITON3)
+        assert counts[0] == 1 and counts[-1] == 64
+
+    def test_gold_stops_at_56(self):
+        counts = core_counts_for(GOLD_6238R)
+        assert counts[-1] == 56
+        assert 64 not in counts

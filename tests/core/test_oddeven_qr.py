@@ -1,0 +1,162 @@
+"""Tests for the odd-even parallel QR factorization (paper §3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.oddeven_qr import oddeven_factorize
+from repro.core.solve import oddeven_back_substitute
+from repro.linalg.blocks import BlockLayout
+from repro.model.dense import assemble_dense
+from repro.model.generators import (
+    dimension_change_problem,
+    random_orthonormal_problem,
+    random_problem,
+)
+
+
+def permuted_dense_a(problem, order):
+    """Columns of the dense UA permuted to elimination order."""
+    dense = assemble_dense(problem)
+    layout = dense.layout
+    cols = [dense.a[:, layout.slice(c)] for c in order]
+    return np.hstack(cols), dense
+
+
+class TestFactorAlgebra:
+    @pytest.mark.parametrize("k", [0, 1, 2, 3, 4, 5, 6, 9, 17, 32])
+    def test_rtr_equals_permuted_ata(self, k):
+        """R^T R = (U A P)^T (U A P): the defining QR property."""
+        p = random_problem(k=k, seed=k, dims=3, random_cov=True)
+        factor = oddeven_factorize(p)
+        factor.validate()
+        r = factor.to_dense()
+        ap, _dense = permuted_dense_a(p, factor.order)
+        assert np.allclose(r.T @ r, ap.T @ ap, atol=1e-8)
+
+    def test_r_is_upper_triangular_in_elimination_order(self):
+        p = random_problem(k=12, seed=1, dims=2)
+        factor = oddeven_factorize(p)
+        r = factor.to_dense()
+        assert np.allclose(r, np.triu(r), atol=1e-12)
+
+    def test_rhs_is_qt_ub(self):
+        """||R P^T u - Q^T U b|| solves the same LS problem: check via
+        the normal equations R^T (Q^T U b) = (UAP)^T U b."""
+        p = random_problem(k=9, seed=2, dims=3)
+        factor = oddeven_factorize(p)
+        r = factor.to_dense()
+        z = factor.rhs_dense()
+        ap, dense = permuted_dense_a(p, factor.order)
+        assert np.allclose(r.T @ z, ap.T @ dense.b, atol=1e-8)
+
+    @given(st.integers(min_value=0, max_value=25))
+    def test_residual_plus_solution_norm_is_rhs_norm(self, k):
+        """||U b||^2 = ||z||^2 + residual (orthogonal invariance)."""
+        p = random_problem(k=k, seed=k + 50, dims=2, random_cov=True)
+        factor = oddeven_factorize(p)
+        z = factor.rhs_dense()
+        dense = assemble_dense(p)
+        assert float(z @ z) + factor.residual_sq == pytest.approx(
+            float(dense.b @ dense.b), rel=1e-9
+        )
+
+
+class TestStructure:
+    def test_levels_partition_columns(self):
+        p = random_problem(k=20, seed=3, dims=2)
+        factor = oddeven_factorize(p)
+        flat = sorted(c for level in factor.levels for c in level)
+        assert flat == list(range(21))
+
+    def test_level_zero_is_even_columns(self):
+        factor = oddeven_factorize(random_problem(k=10, seed=4, dims=2))
+        assert factor.levels[0] == [0, 2, 4, 6, 8, 10]
+        assert factor.levels[1] == [1, 5, 9]
+
+    def test_depth_is_logarithmic(self):
+        for k, expected_max in ((1, 2), (7, 4), (63, 7), (64, 8)):
+            factor = oddeven_factorize(
+                random_problem(k=k, seed=k, dims=1)
+            )
+            assert factor.depth() <= expected_max
+
+    def test_offdiag_blocks_at_most_two(self):
+        """|I| <= 2 for every block row — the SelInv prerequisite."""
+        factor = oddeven_factorize(random_problem(k=30, seed=5, dims=2))
+        for row in factor.rows.values():
+            assert len(row.offdiag) <= 2
+
+    def test_offdiag_targets_are_odd_neighbours(self):
+        factor = oddeven_factorize(random_problem(k=16, seed=6, dims=2))
+        for col in factor.levels[0]:
+            for other, _block in factor.rows[col].offdiag:
+                assert abs(other - col) == 1
+
+    def test_nonzero_blocks_linear_in_k(self):
+        """Fig 1's point: the factor has O(k) nonzero blocks."""
+        small = oddeven_factorize(random_problem(k=25, seed=7, dims=1))
+        large = oddeven_factorize(random_problem(k=100, seed=7, dims=1))
+        ratio = large.nonzero_blocks() / small.nonzero_blocks()
+        assert ratio < 5.0
+
+    def test_structure_rows_render(self):
+        from repro.linalg.structure import render_ascii, structure_matrix
+
+        factor = oddeven_factorize(random_problem(k=8, seed=8, dims=1))
+        occ = structure_matrix(factor.structure_rows(), factor.order)
+        assert np.array_equal(occ, np.triu(occ))
+        art = render_ascii(occ)
+        assert len(art.splitlines()) == 9
+
+
+class TestBackSubstitution:
+    @pytest.mark.parametrize("k", [0, 1, 2, 3, 5, 8, 13, 21, 40])
+    def test_matches_oracle(self, k, assert_blocks_close):
+        p = random_problem(k=k, seed=k + 2, dims=3, random_cov=True)
+        factor = oddeven_factorize(p)
+        states = oddeven_back_substitute(factor)
+        assert_blocks_close(states, assemble_dense(p).solve(), tol=1e-8)
+
+    def test_varying_dims(self, assert_blocks_close):
+        dims = [2, 4, 3, 1, 5, 2, 3, 4, 2, 3, 1]
+        p = random_problem(k=10, seed=9, dims=dims)
+        states = oddeven_back_substitute(oddeven_factorize(p))
+        assert_blocks_close(states, assemble_dense(p).solve(), tol=1e-8)
+
+    def test_unknown_initial_state(self, assert_blocks_close):
+        p = random_problem(k=7, seed=10, dims=3, with_prior=False)
+        states = oddeven_back_substitute(oddeven_factorize(p))
+        assert_blocks_close(states, assemble_dense(p).solve(), tol=1e-8)
+
+    def test_rectangular_h(self, assert_blocks_close):
+        p = dimension_change_problem(k=11, seed=11)
+        states = oddeven_back_substitute(oddeven_factorize(p))
+        assert_blocks_close(states, assemble_dense(p).solve(), tol=1e-7)
+
+    def test_missing_observations(self, assert_blocks_close):
+        p = random_problem(k=25, seed=12, dims=2, obs_prob=0.35)
+        states = oddeven_back_substitute(oddeven_factorize(p))
+        assert_blocks_close(states, assemble_dense(p).solve(), tol=1e-7)
+
+    def test_wide_and_narrow_observations(self, assert_blocks_close):
+        for obs_dim in (1, 7):
+            p = random_problem(k=9, seed=13, dims=4, obs_dim=obs_dim)
+            states = oddeven_back_substitute(oddeven_factorize(p))
+            assert_blocks_close(
+                states, assemble_dense(p).solve(), tol=1e-7
+            )
+
+    def test_paper_benchmark_problem(self, assert_blocks_close):
+        p = random_orthonormal_problem(n=6, k=100, seed=14)
+        states = oddeven_back_substitute(oddeven_factorize(p))
+        assert_blocks_close(states, assemble_dense(p).solve(), tol=1e-8)
+
+
+class TestRankDeficiency:
+    def test_detected_with_message(self):
+        p = random_problem(k=4, seed=15, obs_prob=0.0, with_prior=False)
+        p.steps[0].observation = None
+        factor = oddeven_factorize(p)
+        with pytest.raises(np.linalg.LinAlgError, match="rank deficient"):
+            oddeven_back_substitute(factor)

@@ -1,0 +1,67 @@
+"""Tests for the original Paige–Saunders covariance algorithm."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.orthogonal_cov import (
+    covariance_factors_orthogonal,
+    covariances_orthogonal,
+)
+from repro.core.selinv import selinv_bidiagonal
+from repro.kalman.paige_saunders import paige_saunders_factorize
+from repro.model.dense import assemble_dense
+from repro.model.generators import ill_conditioned_problem, random_problem
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("k", [0, 1, 2, 5, 12])
+    def test_matches_dense_inverse(self, k):
+        p = random_problem(k=k, seed=k, dims=3, random_cov=True)
+        dense = assemble_dense(p)
+        covs = covariances_orthogonal(paige_saunders_factorize(p))
+        for got, want in zip(covs, dense.covariances()):
+            assert np.allclose(got, want, atol=1e-8)
+
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=10)
+    def test_agrees_with_selinv(self, seed):
+        """The two §4 covariance paths — orthogonal transformations and
+        SelInv Algorithm 1 — agree block for block."""
+        p = random_problem(k=7, seed=seed, dims=2, random_cov=True)
+        factor = paige_saunders_factorize(p)
+        orth = covariances_orthogonal(factor)
+        selinv = selinv_bidiagonal(factor).diagonal
+        for a, b in zip(orth, selinv):
+            assert np.allclose(a, b, atol=1e-8)
+
+    def test_factors_reproduce_covariances(self):
+        p = random_problem(k=4, seed=1, dims=3)
+        factor = paige_saunders_factorize(p)
+        c_factors = covariance_factors_orthogonal(factor)
+        covs = covariances_orthogonal(factor)
+        for c, cov in zip(c_factors, covs):
+            assert np.allclose(c @ c.T, cov, atol=1e-10)
+
+    def test_varying_dims(self):
+        p = random_problem(k=5, seed=2, dims=[2, 3, 1, 4, 2, 3])
+        dense = assemble_dense(p)
+        covs = covariances_orthogonal(paige_saunders_factorize(p))
+        for got, want in zip(covs, dense.covariances()):
+            assert np.allclose(got, want, atol=1e-8)
+
+
+class TestStability:
+    def test_orthogonal_path_stays_accurate_when_ill_conditioned(self):
+        """Factor-form covariances avoid squaring: accuracy comparable
+        to SelInv on hard inputs."""
+        p = ill_conditioned_problem(n=3, k=15, cond=1e10, seed=0)
+        factor = paige_saunders_factorize(p)
+        dense = assemble_dense(p)
+        orth = covariances_orthogonal(factor)
+        want = dense.covariances()
+        rel = max(
+            np.max(np.abs(a - b)) / max(np.max(np.abs(b)), 1e-300)
+            for a, b in zip(orth, want)
+        )
+        assert rel < 1e-4

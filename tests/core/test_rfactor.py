@@ -1,0 +1,92 @@
+"""Tests for the factor data structures."""
+
+import numpy as np
+import pytest
+
+from repro.core.rfactor import BidiagonalR, OddEvenR, RBlockRow
+
+
+class TestBidiagonalR:
+    def test_to_dense(self):
+        diag = [np.array([[2.0]]), np.array([[3.0]])]
+        off = [np.array([[5.0]])]
+        rhs = [np.array([1.0]), np.array([2.0])]
+        factor = BidiagonalR(diag=diag, offdiag=off, rhs=rhs)
+        assert np.allclose(
+            factor.to_dense(), [[2.0, 5.0], [0.0, 3.0]]
+        )
+
+    def test_mismatched_offdiag_count(self):
+        with pytest.raises(ValueError):
+            BidiagonalR(
+                diag=[np.eye(1), np.eye(1)], offdiag=[], rhs=[np.zeros(1)] * 2
+            )
+
+    def test_dims(self):
+        factor = BidiagonalR(
+            diag=[np.zeros((2, 2)), np.zeros((3, 3))],
+            offdiag=[np.zeros((2, 3))],
+            rhs=[np.zeros(2), np.zeros(3)],
+        )
+        assert factor.dims == [2, 3]
+        assert factor.k == 1
+
+
+def tiny_oddeven():
+    """Hand-built two-column factor: col 0 eliminated first."""
+    factor = OddEvenR(dims=[1, 1])
+    factor.rows[0] = RBlockRow(
+        col=0,
+        diag=np.array([[2.0]]),
+        offdiag=[(1, np.array([[1.0]]))],
+        rhs=np.array([4.0]),
+        level=0,
+    )
+    factor.rows[1] = RBlockRow(
+        col=1,
+        diag=np.array([[3.0]]),
+        offdiag=[],
+        rhs=np.array([6.0]),
+        level=1,
+    )
+    factor.levels = [[0], [1]]
+    return factor
+
+
+class TestOddEvenR:
+    def test_order(self):
+        assert tiny_oddeven().order == [0, 1]
+
+    def test_validate_accepts_good_factor(self):
+        tiny_oddeven().validate()
+
+    def test_validate_rejects_forward_reference(self):
+        factor = tiny_oddeven()
+        factor.rows[1].offdiag = [(0, np.array([[1.0]]))]
+        with pytest.raises(AssertionError, match="not upper triangular"):
+            factor.validate()
+
+    def test_validate_rejects_bad_shape(self):
+        factor = tiny_oddeven()
+        factor.rows[0].offdiag = [(1, np.zeros((2, 2)))]
+        with pytest.raises(AssertionError, match="shape"):
+            factor.validate()
+
+    def test_validate_rejects_bad_permutation(self):
+        factor = tiny_oddeven()
+        factor.levels = [[0], [0]]
+        with pytest.raises(AssertionError, match="permutation"):
+            factor.validate()
+
+    def test_to_dense_and_rhs(self):
+        factor = tiny_oddeven()
+        assert np.allclose(factor.to_dense(), [[2.0, 1.0], [0.0, 3.0]])
+        assert np.allclose(factor.rhs_dense(), [4.0, 6.0])
+
+    def test_nonzero_blocks(self):
+        assert tiny_oddeven().nonzero_blocks() == 3
+
+    def test_structure_rows(self):
+        rows = dict(tiny_oddeven().structure_rows())
+        assert rows[0] == [1]
+        assert rows[1] == []

@@ -1,0 +1,118 @@
+"""Tests for SelInv (paper §4, Algorithms 1 and 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.oddeven_qr import oddeven_factorize
+from repro.core.selinv import selinv_bidiagonal, selinv_oddeven
+from repro.kalman.paige_saunders import paige_saunders_factorize
+from repro.model.dense import assemble_dense
+from repro.model.generators import (
+    dimension_change_problem,
+    random_problem,
+)
+
+
+class TestAlgorithm1:
+    @pytest.mark.parametrize("k", [0, 1, 2, 5, 10])
+    def test_diagonal_blocks_match_dense_inverse(self, k):
+        p = random_problem(k=k, seed=k, dims=3, random_cov=True)
+        dense = assemble_dense(p)
+        factor = paige_saunders_factorize(p)
+        result = selinv_bidiagonal(factor)
+        for got, want in zip(result.diagonal, dense.covariances()):
+            assert np.allclose(got, want, atol=1e-8)
+
+    def test_cross_blocks_match_dense_inverse(self):
+        """S_{j,j+1}: the lag-one smoother covariances."""
+        p = random_problem(k=6, seed=1, dims=2)
+        dense = assemble_dense(p)
+        full = dense.full_inverse()
+        factor = paige_saunders_factorize(p)
+        result = selinv_bidiagonal(factor)
+        layout = dense.layout
+        for (a, b), block in result.cross.items():
+            want = full[layout.slice(a), layout.slice(b)]
+            assert np.allclose(block, want, atol=1e-8)
+
+    def test_varying_dims(self):
+        p = random_problem(k=5, seed=2, dims=[2, 3, 1, 4, 2, 3])
+        dense = assemble_dense(p)
+        result = selinv_bidiagonal(paige_saunders_factorize(p))
+        for got, want in zip(result.diagonal, dense.covariances()):
+            assert np.allclose(got, want, atol=1e-8)
+
+    def test_result_container(self):
+        p = random_problem(k=3, seed=3)
+        result = selinv_bidiagonal(paige_saunders_factorize(p))
+        assert len(result) == 4
+        assert result[0].shape == (3, 3)
+
+
+class TestAlgorithm2:
+    @pytest.mark.parametrize("k", [0, 1, 2, 3, 4, 5, 8, 13, 21, 34])
+    def test_diagonal_blocks_match_dense_inverse(self, k):
+        p = random_problem(k=k, seed=k + 10, dims=3, random_cov=True)
+        dense = assemble_dense(p)
+        factor = oddeven_factorize(p)
+        result = selinv_oddeven(factor)
+        for got, want in zip(result.diagonal, dense.covariances()):
+            assert np.allclose(got, want, atol=1e-8)
+
+    def test_cross_blocks_match_dense_inverse(self):
+        """Every computed S block (R-nonzero positions) is exact."""
+        p = random_problem(k=12, seed=4, dims=2)
+        dense = assemble_dense(p)
+        full = dense.full_inverse()
+        layout = dense.layout
+        result = selinv_oddeven(oddeven_factorize(p))
+        assert result.cross  # nonempty
+        for (a, b), block in result.cross.items():
+            want = full[layout.slice(a), layout.slice(b)]
+            assert np.allclose(block, want, atol=1e-8)
+
+    def test_covers_r_nonzeros(self):
+        """§4: SelInv computes S at every nonzero block of R."""
+        p = random_problem(k=16, seed=5, dims=2)
+        factor = oddeven_factorize(p)
+        result = selinv_oddeven(factor)
+        for col, row in factor.rows.items():
+            for other, _b in row.offdiag:
+                key = (min(col, other), max(col, other))
+                assert key in result.cross
+
+    def test_agrees_with_algorithm1(self):
+        p = random_problem(k=9, seed=6, dims=3, random_cov=True)
+        alg1 = selinv_bidiagonal(paige_saunders_factorize(p))
+        alg2 = selinv_oddeven(oddeven_factorize(p))
+        for a, b in zip(alg1.diagonal, alg2.diagonal):
+            assert np.allclose(a, b, atol=1e-8)
+
+    def test_covariances_symmetric_spd(self):
+        p = random_problem(k=20, seed=7, dims=3)
+        result = selinv_oddeven(oddeven_factorize(p))
+        for cov in result.diagonal:
+            assert np.allclose(cov, cov.T, atol=1e-12)
+            assert np.all(np.linalg.eigvalsh(cov) > 0)
+
+    def test_varying_dims(self):
+        dims = [3, 2, 4, 1, 3, 2, 5, 2, 3]
+        p = random_problem(k=8, seed=8, dims=dims)
+        dense = assemble_dense(p)
+        result = selinv_oddeven(oddeven_factorize(p))
+        for got, want in zip(result.diagonal, dense.covariances()):
+            assert np.allclose(got, want, atol=1e-8)
+
+    def test_rectangular_h(self):
+        p = dimension_change_problem(k=9, seed=9)
+        dense = assemble_dense(p)
+        result = selinv_oddeven(oddeven_factorize(p))
+        for got, want in zip(result.diagonal, dense.covariances()):
+            assert np.allclose(got, want, atol=1e-7)
+
+    def test_unknown_initial_state(self):
+        p = random_problem(k=7, seed=10, dims=2, with_prior=False)
+        dense = assemble_dense(p)
+        result = selinv_oddeven(oddeven_factorize(p))
+        for got, want in zip(result.diagonal, dense.covariances()):
+            assert np.allclose(got, want, atol=1e-8)

@@ -1,0 +1,123 @@
+"""Cross-algorithm integration tests: all smoothers, one answer.
+
+The strongest correctness statement in the repository: on any
+well-posed linear problem, the Odd-Even, Paige–Saunders, RTS and
+Associative smoothers — four completely different algorithms — must
+produce the same means and covariances, and all must match the dense
+orthogonal-factorization oracle.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.normal_equations import NormalEquationsSmoother
+from repro.core.smoother import OddEvenSmoother
+from repro.kalman.associative import AssociativeSmoother
+from repro.kalman.paige_saunders import PaigeSaundersSmoother
+from repro.kalman.rts import RTSSmoother
+from repro.model.dense import assemble_dense
+from repro.model.generators import (
+    constant_velocity_problem,
+    random_orthonormal_problem,
+    random_problem,
+    tracking_2d_problem,
+)
+
+ALL = [
+    ("odd-even", OddEvenSmoother()),
+    ("paige-saunders", PaigeSaundersSmoother()),
+    ("rts", RTSSmoother()),
+    ("associative", AssociativeSmoother()),
+]
+
+
+def agree_with_oracle(problem, smoothers=ALL, tol=1e-7, cov_tol=1e-7):
+    dense = assemble_dense(problem)
+    means = dense.solve()
+    covs = dense.covariances()
+    for name, smoother in smoothers:
+        result = smoother.smooth(problem)
+        for i, (got, want) in enumerate(zip(result.means, means)):
+            err = np.max(np.abs(got - want))
+            assert err < tol, f"{name} mean {i}: err {err:.2e}"
+        if result.covariances is not None:
+            for i, (got, want) in enumerate(
+                zip(result.covariances, covs)
+            ):
+                err = np.max(np.abs(got - want))
+                assert err < cov_tol, f"{name} cov {i}: err {err:.2e}"
+
+
+class TestRandomProblems:
+    @given(
+        k=st.integers(min_value=0, max_value=24),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=15)
+    def test_uniform_dims(self, k, seed):
+        agree_with_oracle(
+            random_problem(k=k, seed=seed, dims=3, random_cov=True)
+        )
+
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=10)
+    def test_varying_dims_qr_methods(self, seed):
+        rng = np.random.default_rng(seed)
+        dims = [int(d) for d in rng.integers(1, 5, size=9)]
+        problem = random_problem(k=8, seed=seed, dims=dims)
+        agree_with_oracle(problem)
+
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=10)
+    def test_missing_observations(self, seed):
+        problem = random_problem(
+            k=14, seed=seed, dims=2, obs_prob=0.5, random_cov=True
+        )
+        agree_with_oracle(problem)
+
+    def test_with_normal_equations_included(self):
+        problem = random_problem(k=9, seed=3, dims=3)
+        smoothers = ALL + [("normal-eq", NormalEquationsSmoother())]
+        agree_with_oracle(problem, smoothers=smoothers)
+
+
+class TestPaperWorkloads:
+    @pytest.mark.parametrize("n", [2, 6])
+    def test_orthonormal_problem(self, n):
+        agree_with_oracle(
+            random_orthonormal_problem(n=n, k=60, seed=n), tol=1e-8
+        )
+
+    def test_tracking_workloads(self):
+        p1, _ = constant_velocity_problem(k=40, seed=0)
+        p2, _ = tracking_2d_problem(k=40, seed=1, obs_prob=0.8)
+        agree_with_oracle(p1)
+        agree_with_oracle(p2)
+
+
+class TestQROnlyCapabilities:
+    """Problems only the QR-based pair can handle (paper §6)."""
+
+    QR = [("odd-even", OddEvenSmoother()), ("paige-saunders", PaigeSaundersSmoother())]
+
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=10)
+    def test_unknown_initial_state(self, seed):
+        problem = random_problem(k=8, seed=seed, dims=3, with_prior=False)
+        agree_with_oracle(problem, smoothers=self.QR)
+
+    def test_rectangular_h(self):
+        from repro.model.generators import dimension_change_problem
+
+        problem = dimension_change_problem(k=10, seed=5)
+        agree_with_oracle(problem, smoothers=self.QR)
+
+    def test_conventional_pair_rejects_them(self):
+        problem = random_problem(k=4, seed=6, with_prior=False)
+        for _name, smoother in (
+            ("rts", RTSSmoother()),
+            ("associative", AssociativeSmoother()),
+        ):
+            with pytest.raises(ValueError):
+                smoother.smooth(problem)

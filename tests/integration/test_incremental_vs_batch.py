@@ -1,0 +1,82 @@
+"""Property: the incremental API and the batch smoothers are one system.
+
+Feeding any problem through UltimateKalman step by step and smoothing
+must equal batch-smoothing the original problem; the final filtered
+estimate must equal the smoothed estimate of the last state (no future
+data exists for it).
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.smoother import OddEvenSmoother
+from repro.kalman.paige_saunders import PaigeSaundersSmoother
+from repro.kalman.ultimate import UltimateKalman
+from repro.model.generators import random_problem
+
+problems = st.builds(
+    random_problem,
+    k=st.integers(min_value=1, max_value=15),
+    seed=st.integers(min_value=0, max_value=5000),
+    dims=st.integers(min_value=1, max_value=4),
+    random_cov=st.booleans(),
+    obs_prob=st.sampled_from([1.0, 0.6]),
+)
+
+
+def drive(uk, problem):
+    s0 = problem.steps[0]
+    if s0.observation is not None:
+        obs = s0.observation
+        uk.observe(obs.G, obs.o, obs.L.covariance())
+    for step in problem.steps[1:]:
+        evo = step.evolution
+        uk.evolve(evo.F, evo.c, evo.K.covariance(), H=evo.H)
+        if step.observation is not None:
+            obs = step.observation
+            uk.observe(obs.G, obs.o, obs.L.covariance())
+
+
+class TestEquivalence:
+    @given(problems)
+    @settings(max_examples=15)
+    def test_incremental_smooth_equals_batch(self, problem):
+        uk = UltimateKalman(
+            state_dim=problem.state_dims[0],
+            prior=(problem.prior.mean, problem.prior.cov_matrix()),
+        )
+        drive(uk, problem)
+        incremental = uk.smooth()
+        batch = OddEvenSmoother().smooth(problem)
+        for a, b in zip(incremental.means, batch.means):
+            assert np.allclose(a, b, atol=1e-9)
+        for a, b in zip(incremental.covariances, batch.covariances):
+            assert np.allclose(a, b, atol=1e-9)
+
+    @given(problems)
+    @settings(max_examples=15)
+    def test_final_filter_equals_final_smooth(self, problem):
+        uk = UltimateKalman(
+            state_dim=problem.state_dims[0],
+            prior=(problem.prior.mean, problem.prior.cov_matrix()),
+        )
+        drive(uk, problem)
+        mean_f, cov_f = uk.estimate()
+        smoothed = PaigeSaundersSmoother().smooth(problem)
+        assert np.allclose(mean_f, smoothed.means[-1], atol=1e-8)
+        assert np.allclose(cov_f, smoothed.covariances[-1], atol=1e-8)
+
+    @given(problems, st.integers(min_value=1, max_value=6))
+    @settings(max_examples=10)
+    def test_forget_preserves_window(self, problem, keep):
+        uk = UltimateKalman(
+            state_dim=problem.state_dims[0],
+            prior=(problem.prior.mean, problem.prior.cov_matrix()),
+        )
+        drive(uk, problem)
+        full = OddEvenSmoother().smooth(problem)
+        uk.forget(keep_last=keep)
+        window = uk.smooth()
+        offset = uk.first_index
+        for a, b in zip(window.means, full.means[offset:]):
+            assert np.allclose(a, b, atol=1e-8)

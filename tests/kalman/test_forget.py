@@ -1,0 +1,97 @@
+"""Tests for UltimateKalman's bounded-memory forgetting."""
+
+import numpy as np
+import pytest
+
+from repro.kalman.ultimate import UltimateKalman
+from repro.model.generators import random_problem
+
+
+def drive(uk, problem, start=0):
+    steps = problem.steps
+    s0 = steps[start]
+    if start == 0 and s0.observation is not None:
+        obs = s0.observation
+        uk.observe(obs.G, obs.o, obs.L.covariance())
+    for step in steps[start + 1 :]:
+        evo = step.evolution
+        uk.evolve(evo.F, evo.c, evo.K.covariance(), H=evo.H)
+        if step.observation is not None:
+            obs = step.observation
+            uk.observe(obs.G, obs.o, obs.L.covariance())
+
+
+def fresh(problem):
+    uk = UltimateKalman(
+        state_dim=problem.state_dims[0],
+        prior=(problem.prior.mean, problem.prior.cov_matrix()),
+    )
+    drive(uk, problem)
+    return uk
+
+
+class TestForget:
+    @pytest.mark.parametrize("keep", [1, 3, 8, 21])
+    def test_window_smoothing_equals_full_tail(self, keep):
+        """The filtered boundary marginal is a sufficient summary: the
+        window smooth equals the corresponding tail of the full
+        smooth, means and covariances, to machine precision."""
+        p = random_problem(k=20, seed=keep, dims=3, random_cov=True)
+        full = fresh(p).smooth()
+        uk = fresh(p)
+        dropped = uk.forget(keep_last=keep)
+        assert dropped == max(0, 21 - keep)
+        window = uk.smooth()
+        offset = uk.first_index
+        assert len(window.means) == min(keep, 21)
+        for a, b in zip(window.means, full.means[offset:]):
+            assert np.allclose(a, b, atol=1e-10)
+        for a, b in zip(window.covariances, full.covariances[offset:]):
+            assert np.allclose(a, b, atol=1e-10)
+
+    def test_filtering_unaffected(self):
+        p = random_problem(k=15, seed=2, dims=2, random_cov=True)
+        uk = fresh(p)
+        before = uk.estimate()
+        uk.forget(keep_last=4)
+        after = uk.estimate()
+        assert np.allclose(before[0], after[0], atol=1e-12)
+        assert np.allclose(before[1], after[1], atol=1e-12)
+
+    def test_can_continue_after_forget(self):
+        p = random_problem(k=12, seed=3, dims=2, random_cov=True)
+        uk = fresh(p)
+        uk.forget(keep_last=3)
+        # Extend the timeline past the forget point.
+        rng = np.random.default_rng(0)
+        uk.evolve(F=0.9 * np.eye(2))
+        uk.observe(np.eye(2), rng.standard_normal(2))
+        assert uk.current_index == 13
+        mean, cov = uk.estimate()
+        assert np.all(np.isfinite(mean))
+        assert np.all(np.linalg.eigvalsh(cov) > 0)
+
+    def test_repeated_forgetting_bounds_memory(self):
+        uk = UltimateKalman(state_dim=2, prior=(np.zeros(2), np.eye(2)))
+        rng = np.random.default_rng(1)
+        for i in range(60):
+            if i > 0:
+                uk.evolve(F=np.eye(2) * 0.95)
+            uk.observe(np.eye(2), rng.standard_normal(2))
+            if i % 10 == 9:
+                uk.forget(keep_last=5)
+        assert len(uk.problem().steps) <= 15
+        assert uk.current_index == 59
+        result = uk.smooth()
+        assert len(result.means) == len(uk.problem().steps)
+
+    def test_noop_when_window_larger_than_history(self):
+        p = random_problem(k=5, seed=4, dims=2)
+        uk = fresh(p)
+        assert uk.forget(keep_last=100) == 0
+        assert uk.first_index == 0
+
+    def test_rejects_bad_window(self):
+        uk = UltimateKalman(state_dim=1)
+        with pytest.raises(ValueError):
+            uk.forget(keep_last=0)

@@ -1,0 +1,89 @@
+"""Tests for the conventional Kalman filter."""
+
+import numpy as np
+import pytest
+
+from repro.kalman.kf import KalmanFilter
+from repro.model.dense import dense_solve
+from repro.model.generators import (
+    constant_velocity_problem,
+    dimension_change_problem,
+    random_problem,
+)
+
+
+class TestFilterCorrectness:
+    @pytest.mark.parametrize("k_last", [0, 1, 3, 6])
+    def test_filtered_mean_equals_smoothing_the_past(self, k_last):
+        """Filtering at step i = smoothing the subproblem 0..i at its
+        last state (the defining relation between the two problems)."""
+        p = random_problem(k=6, seed=0, dims=3, random_cov=True)
+        filt = KalmanFilter().filter(p)
+        sub_solution = dense_solve(p.subproblem(k_last))
+        assert np.allclose(
+            filt.means[k_last], sub_solution[k_last], atol=1e-8
+        )
+
+    def test_covariances_spd(self):
+        p = random_problem(k=5, seed=1, dims=2)
+        filt = KalmanFilter().filter(p)
+        for cov in filt.covariances + filt.predicted_covariances:
+            assert np.allclose(cov, cov.T, atol=1e-10)
+            assert np.all(np.linalg.eigvalsh(cov) > -1e-12)
+
+    def test_missing_observation_keeps_prediction(self):
+        p = random_problem(k=4, seed=2, dims=2, obs_prob=0.0)
+        filt = KalmanFilter().filter(p)
+        for i in range(1, 5):
+            assert np.allclose(filt.means[i], filt.predicted_means[i])
+
+    def test_update_shrinks_variance(self):
+        p, _ = constant_velocity_problem(k=10, seed=3)
+        filt = KalmanFilter().filter(p)
+        for i in range(11):
+            # Observing cannot increase the position variance.
+            assert (
+                filt.covariances[i][0, 0]
+                <= filt.predicted_covariances[i][0, 0] + 1e-12
+            )
+
+
+class TestFunctionalLimits:
+    def test_requires_prior(self):
+        p = random_problem(k=2, seed=4, with_prior=False)
+        with pytest.raises(ValueError, match="requires a Gaussian prior"):
+            KalmanFilter().filter(p)
+
+    def test_rejects_rectangular_h(self):
+        p = dimension_change_problem(k=5)
+        with pytest.raises(ValueError, match="rectangular H"):
+            KalmanFilter().filter(p)
+
+    def test_square_invertible_h_reduced(self):
+        """A square nonidentity H is reduced away (paper §2.2 note)."""
+        from repro.model.steps import Evolution, GaussianPrior, Observation, Step
+
+        rng = np.random.default_rng(5)
+        h = np.eye(2) + 0.1 * rng.standard_normal((2, 2))
+        steps = [
+            Step(
+                state_dim=2,
+                observation=Observation(G=np.eye(2), o=rng.standard_normal(2)),
+            ),
+            Step(
+                state_dim=2,
+                evolution=Evolution(
+                    F=0.9 * np.eye(2), H=h, c=rng.standard_normal(2)
+                ),
+                observation=Observation(G=np.eye(2), o=rng.standard_normal(2)),
+            ),
+        ]
+        from repro.model.problem import StateSpaceProblem
+
+        p = StateSpaceProblem(
+            steps, prior=GaussianPrior(mean=np.zeros(2), cov=np.eye(2))
+        )
+        filt = KalmanFilter().filter(p)
+        assert np.allclose(
+            filt.means[1], dense_solve(p)[1], atol=1e-8
+        )

@@ -1,0 +1,110 @@
+"""Tests for the sequential Paige–Saunders QR smoother."""
+
+import numpy as np
+import pytest
+
+from repro.kalman.paige_saunders import (
+    PaigeSaundersSmoother,
+    paige_saunders_factorize,
+)
+from repro.model.dense import assemble_dense
+from repro.model.generators import (
+    dimension_change_problem,
+    random_problem,
+)
+from repro.parallel.tally import measure_flops
+
+
+class TestFactor:
+    def test_rtr_equals_ata(self):
+        """R^T R = (UA)^T (UA): the factor is a genuine QR triangle."""
+        p = random_problem(k=5, seed=0, dims=3, random_cov=True)
+        dense = assemble_dense(p)
+        factor = paige_saunders_factorize(p)
+        r = factor.to_dense()
+        assert np.allclose(r.T @ r, dense.a.T @ dense.a, atol=1e-9)
+
+    def test_bidiagonal_structure(self):
+        factor = paige_saunders_factorize(random_problem(k=4, seed=1))
+        assert len(factor.diag) == 5
+        assert len(factor.offdiag) == 4
+        rows = factor.structure_rows()
+        assert rows[0] == (0, [1])
+        assert rows[-1] == (4, [])
+
+    def test_residual_matches_objective(self):
+        p = random_problem(k=6, seed=2, random_cov=True)
+        factor = paige_saunders_factorize(p)
+        result = PaigeSaundersSmoother().smooth(p)
+        assert factor.residual_sq == pytest.approx(
+            p.objective(result.means), rel=1e-8, abs=1e-10
+        )
+
+    def test_rank_deficiency_detected(self):
+        # No observations and no prior: states are undetermined.
+        p = random_problem(
+            k=3, seed=3, obs_prob=0.0, with_prior=False
+        )
+        # random_problem forces an observation at step 0 when no prior;
+        # remove it to make the problem genuinely deficient.
+        p.steps[0].observation = None
+        with pytest.raises(np.linalg.LinAlgError, match="rank deficient"):
+            paige_saunders_factorize(p)
+
+
+class TestSmoother:
+    @pytest.mark.parametrize("k", [0, 1, 2, 7, 15])
+    def test_matches_oracle(self, k, assert_blocks_close):
+        p = random_problem(k=k, seed=k, dims=3, random_cov=True)
+        dense = assemble_dense(p)
+        result = PaigeSaundersSmoother().smooth(p)
+        assert_blocks_close(result.means, dense.solve(), tol=1e-8)
+        assert_blocks_close(
+            result.covariances, dense.covariances(), tol=1e-8
+        )
+
+    def test_unknown_initial_state(self, assert_blocks_close):
+        """§6: the QR smoothers need no prior."""
+        p = random_problem(k=6, seed=4, dims=3, with_prior=False)
+        result = PaigeSaundersSmoother().smooth(p)
+        assert_blocks_close(
+            result.means, assemble_dense(p).solve(), tol=1e-8
+        )
+
+    def test_rectangular_h(self, assert_blocks_close):
+        p = dimension_change_problem(k=7, seed=5)
+        result = PaigeSaundersSmoother().smooth(p)
+        assert_blocks_close(
+            result.means, assemble_dense(p).solve(), tol=1e-7
+        )
+
+    def test_nc_variant_skips_covariance_work(self):
+        p = random_problem(k=20, seed=6, dims=4)
+        _full, tally_full = measure_flops(
+            PaigeSaundersSmoother().smooth, p
+        )
+        nc, tally_nc = measure_flops(
+            PaigeSaundersSmoother(compute_covariance=False).smooth, p
+        )
+        assert nc.covariances is None
+        assert nc.algorithm == "paige-saunders-nc"
+        assert tally_nc.flops < 0.8 * tally_full.flops
+
+    def test_nc_means_match_full(self, assert_blocks_close):
+        p = random_problem(k=9, seed=7)
+        full = PaigeSaundersSmoother().smooth(p)
+        nc = PaigeSaundersSmoother(compute_covariance=False).smooth(p)
+        assert_blocks_close(full.means, nc.means, tol=1e-12)
+
+    def test_work_scales_linearly_in_k(self):
+        """The compression step keeps the sweep Theta(k n^3)."""
+        p_small = random_problem(k=20, seed=8, dims=3)
+        p_large = random_problem(k=80, seed=8, dims=3)
+        _r1, t_small = measure_flops(
+            PaigeSaundersSmoother(compute_covariance=False).smooth, p_small
+        )
+        _r2, t_large = measure_flops(
+            PaigeSaundersSmoother(compute_covariance=False).smooth, p_large
+        )
+        ratio = t_large.flops / t_small.flops
+        assert ratio < 6.0  # ~4x for 4x the steps, not ~16x

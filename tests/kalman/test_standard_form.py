@@ -1,0 +1,69 @@
+"""Tests for the standard-form reduction."""
+
+import numpy as np
+import pytest
+
+from repro.kalman.standard_form import to_standard_form
+from repro.model.generators import dimension_change_problem, random_problem
+from repro.model.problem import StateSpaceProblem
+from repro.model.steps import Evolution, GaussianPrior, Observation, Step
+
+
+class TestReduction:
+    def test_identity_h_passthrough(self):
+        p = random_problem(k=3, seed=0, dims=2, random_cov=True)
+        m0, p0, steps = to_standard_form(p)
+        assert m0.shape == (2,)
+        assert p0.shape == (2, 2)
+        for i, s in enumerate(steps):
+            if i > 0:
+                orig = p.steps[i].evolution
+                assert np.allclose(s.F, orig.F)
+                assert np.allclose(s.Q, orig.K.covariance())
+
+    def test_square_h_reduction(self):
+        rng = np.random.default_rng(1)
+        h = np.eye(2) + 0.2 * rng.standard_normal((2, 2))
+        f = rng.standard_normal((2, 2))
+        c = rng.standard_normal(2)
+        k_cov = np.diag([2.0, 3.0])
+        p = StateSpaceProblem(
+            [
+                Step(state_dim=2),
+                Step(
+                    state_dim=2,
+                    evolution=Evolution(F=f, c=c, H=h, K=k_cov),
+                ),
+            ],
+            prior=GaussianPrior(mean=np.zeros(2)),
+        )
+        _m0, _p0, steps = to_standard_form(p)
+        hinv = np.linalg.inv(h)
+        assert np.allclose(steps[1].F, hinv @ f, atol=1e-10)
+        assert np.allclose(steps[1].c, hinv @ c, atol=1e-10)
+        assert np.allclose(
+            steps[1].Q, hinv @ k_cov @ hinv.T, atol=1e-10
+        )
+
+    def test_observation_passthrough(self):
+        p = random_problem(k=2, seed=2, obs_dim=3)
+        _m0, _p0, steps = to_standard_form(p)
+        assert steps[0].has_observation
+        assert steps[0].G.shape == (3, 3)
+
+    def test_missing_observation(self):
+        p = random_problem(k=2, seed=3, obs_prob=0.0)
+        _m0, _p0, steps = to_standard_form(p)
+        assert not steps[1].has_observation
+
+
+class TestErrors:
+    def test_no_prior(self):
+        p = random_problem(k=1, seed=4, with_prior=False)
+        with pytest.raises(ValueError, match="QR-based"):
+            to_standard_form(p, "the RTS smoother")
+
+    def test_rectangular_h_names_algorithm(self):
+        p = dimension_change_problem(k=4)
+        with pytest.raises(ValueError, match="my-algorithm"):
+            to_standard_form(p, "my-algorithm")

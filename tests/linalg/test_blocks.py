@@ -1,0 +1,86 @@
+"""Tests for block layouts and block vectors."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.blocks import BlockLayout, BlockVector, block_rows
+
+
+class TestBlockLayout:
+    def test_offsets(self):
+        layout = BlockLayout.from_dims([2, 3, 1])
+        assert layout.total == 6
+        assert layout.slice(0) == slice(0, 2)
+        assert layout.slice(1) == slice(2, 5)
+        assert layout.slice(2) == slice(5, 6)
+
+    def test_negative_index(self):
+        layout = BlockLayout.from_dims([2, 3])
+        assert layout.slice(-1) == slice(2, 5)
+
+    def test_out_of_range(self):
+        layout = BlockLayout.from_dims([2])
+        with pytest.raises(IndexError):
+            layout.slice(1)
+
+    def test_rejects_negative_dims(self):
+        with pytest.raises(ValueError):
+            BlockLayout.from_dims([2, -1])
+
+    def test_zero_dim_blocks_allowed(self):
+        layout = BlockLayout.from_dims([2, 0, 3])
+        assert layout.slice(1) == slice(2, 2)
+
+    def test_len_and_dim(self):
+        layout = BlockLayout.from_dims([4, 1])
+        assert len(layout) == 2
+        assert layout.dim(0) == 4
+        assert layout.dim(-1) == 1
+
+
+class TestBlockVector:
+    def test_roundtrip(self):
+        v = BlockVector.zeros([2, 3])
+        v[1] = [1.0, 2.0, 3.0]
+        assert np.array_equal(v[1], [1.0, 2.0, 3.0])
+        assert np.array_equal(v.flat, [0, 0, 1, 2, 3])
+
+    def test_from_blocks(self):
+        v = BlockVector.from_blocks([np.ones(2), np.zeros(3)])
+        assert v.flat.shape == (5,)
+        assert np.array_equal(v[0], [1, 1])
+
+    def test_blocks_list(self):
+        v = BlockVector.from_blocks([np.ones(1), 2 * np.ones(2)])
+        blocks = v.blocks()
+        assert len(blocks) == 2
+        assert np.array_equal(blocks[1], [2, 2])
+
+    def test_wrong_block_shape(self):
+        v = BlockVector.zeros([2, 2])
+        with pytest.raises(ValueError, match="dimension"):
+            v[0] = [1.0, 2.0, 3.0]
+
+    def test_wrong_flat_shape(self):
+        layout = BlockLayout.from_dims([2])
+        with pytest.raises(ValueError, match="flat vector"):
+            BlockVector(layout, np.zeros(3))
+
+    def test_copy_is_independent(self):
+        v = BlockVector.zeros([2])
+        c = v.copy()
+        c[0] = [1.0, 1.0]
+        assert np.array_equal(v[0], [0.0, 0.0])
+
+
+class TestBlockRows:
+    def test_stacks(self):
+        out = block_rows(np.ones((2, 3)), np.zeros((1, 3)))
+        assert out.shape == (3, 3)
+
+    def test_skips_empty(self):
+        out = block_rows(np.zeros((0, 2)), np.ones((2, 2)))
+        assert out.shape == (2, 2)
+
+    def test_all_empty(self):
+        assert block_rows(np.zeros((0, 4))).shape == (0, 4)

@@ -1,0 +1,117 @@
+"""Tests for Cholesky whitening operators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.linalg.cholesky import Whitener, spd_cholesky, spd_solve
+
+sizes = st.integers(min_value=1, max_value=8)
+
+
+def spd(n, seed=0):
+    a = np.random.default_rng(seed).standard_normal((n, n))
+    return a @ a.T + n * np.eye(n)
+
+
+class TestSpdCholesky:
+    @given(sizes)
+    def test_factor_reconstructs(self, n):
+        a = spd(n, seed=n)
+        s = spd_cholesky(a)
+        assert np.allclose(s @ s.T, a, atol=1e-9)
+        assert np.allclose(s, np.tril(s))
+
+    def test_rejects_asymmetric(self):
+        with pytest.raises(np.linalg.LinAlgError, match="symmetric"):
+            spd_cholesky(np.array([[1.0, 2.0], [0.0, 1.0]]))
+
+    def test_rejects_indefinite(self):
+        with pytest.raises(np.linalg.LinAlgError, match="positive definite"):
+            spd_cholesky(np.array([[1.0, 0.0], [0.0, -1.0]]))
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ValueError, match="square"):
+            spd_cholesky(np.zeros((2, 3)))
+
+    def test_empty(self):
+        assert spd_cholesky(np.zeros((0, 0))).shape == (0, 0)
+
+    def test_error_names_source(self):
+        with pytest.raises(np.linalg.LinAlgError, match="covariance K"):
+            spd_cholesky(-np.eye(2), what="covariance K")
+
+
+class TestWhitener:
+    @given(sizes)
+    def test_whitening_normalizes_covariance(self, n):
+        """V K V^T = I, i.e. V^T V = K^{-1} as the paper requires."""
+        k = spd(n, seed=n + 10)
+        w = Whitener(k)
+        v = w.whiten(np.eye(n))
+        assert np.allclose(v @ k @ v.T, np.eye(n), atol=1e-8)
+
+    def test_identity_kind_is_noop(self):
+        w = Whitener.identity(3)
+        x = np.arange(6.0).reshape(3, 2)
+        assert np.array_equal(w.whiten(x), x)
+
+    def test_scaled_identity(self):
+        w = Whitener.scaled_identity(2, stddev=4.0)
+        assert np.allclose(w.whiten(np.ones(2)), 0.25 * np.ones(2))
+        assert np.allclose(w.covariance(), 16.0 * np.eye(2))
+
+    def test_factor_kind(self):
+        s = np.array([[2.0, 0.0], [1.0, 3.0]])
+        w = Whitener(s, kind="factor")
+        assert np.allclose(w.covariance(), s @ s.T)
+
+    def test_factor_kind_rejects_bad_diagonal(self):
+        with pytest.raises(np.linalg.LinAlgError, match="positive diagonal"):
+            Whitener(np.array([[0.0, 0.0], [1.0, 1.0]]), kind="factor")
+
+    def test_dim_mismatch_raises(self):
+        w = Whitener(spd(3))
+        with pytest.raises(ValueError, match="cannot whiten"):
+            w.whiten(np.ones((4, 2)))
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown whitener kind"):
+            Whitener(kind="bogus", dim=2)
+
+    def test_scaled_identity_rejects_nonpositive(self):
+        with pytest.raises(np.linalg.LinAlgError, match="positive"):
+            Whitener.scaled_identity(2, stddev=0.0)
+
+    def test_identity_requires_dim(self):
+        with pytest.raises(ValueError, match="dim"):
+            Whitener(kind="identity")
+
+    @given(sizes)
+    def test_whitened_noise_is_standard(self, n):
+        """Whitening samples of N(0, K) gives unit sample covariance."""
+        k = spd(n, seed=n + 30)
+        w = Whitener(k)
+        rng = np.random.default_rng(n)
+        chol = np.linalg.cholesky(k)
+        samples = chol @ rng.standard_normal((n, 20000))
+        white = w.whiten(samples)
+        cov = white @ white.T / 20000
+        assert np.allclose(cov, np.eye(n), atol=0.1)
+
+
+class TestSpdSolve:
+    @given(sizes)
+    def test_solves(self, n):
+        a = spd(n, seed=n + 40)
+        b = np.random.default_rng(n).standard_normal((n, 2))
+        assert np.allclose(a @ spd_solve(a, b), b, atol=1e-8)
+
+    def test_vector_rhs(self):
+        a = spd(4, seed=3)
+        b = np.ones(4)
+        assert np.allclose(a @ spd_solve(a, b), b, atol=1e-8)
+
+    def test_rejects_indefinite(self):
+        with pytest.raises(np.linalg.LinAlgError):
+            spd_solve(-np.eye(3), np.ones(3))

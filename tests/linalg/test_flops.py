@@ -1,0 +1,76 @@
+"""Sanity tests for the LAPACK-style flop-count formulas."""
+
+import pytest
+
+from repro.linalg import flops
+
+
+class TestQRFlops:
+    def test_square_matches_classic_formula(self):
+        n = 10
+        # 2 m n^2 - (2/3) n^3 with m = n -> (4/3) n^3
+        assert flops.qr_flops(n, n) == pytest.approx((4.0 / 3.0) * n**3)
+
+    def test_tall_formula(self):
+        m, n = 20, 5
+        assert flops.qr_flops(m, n) == pytest.approx(
+            2 * m * n * n - (2.0 / 3.0) * n**3
+        )
+
+    def test_wide_formula(self):
+        m, n = 4, 15
+        assert flops.qr_flops(m, n) == pytest.approx(
+            2 * m * m * n - (2.0 / 3.0) * m**3
+        )
+
+    def test_monotone_in_rows(self):
+        assert flops.qr_flops(30, 5) > flops.qr_flops(20, 5)
+
+    def test_zero_dims(self):
+        assert flops.qr_flops(0, 5) == 0.0
+        assert flops.qr_flops(5, 0) == 0.0
+
+    def test_wide_counts_only_reducible_columns(self):
+        # A 2 x 100 matrix has only 2 reflectors.
+        assert flops.qr_flops(2, 100) < flops.qr_flops(100, 2) * 100
+
+
+class TestApplyFlops:
+    def test_tall_apply(self):
+        m, n, k = 12, 4, 3
+        assert flops.qr_apply_flops(m, n, k) == pytest.approx(
+            (4 * m * n - 2 * n * n) * k
+        )
+
+    def test_linear_in_columns(self):
+        one = flops.qr_apply_flops(10, 4, 1)
+        assert flops.qr_apply_flops(10, 4, 7) == pytest.approx(7 * one)
+
+    def test_zero(self):
+        assert flops.qr_apply_flops(5, 5, 0) == 0.0
+
+
+class TestOtherKernels:
+    def test_matmul(self):
+        assert flops.matmul_flops(2, 3, 4) == 48.0
+
+    def test_trsm(self):
+        assert flops.trsm_flops(5, 2) == 50.0
+
+    def test_cholesky(self):
+        assert flops.cholesky_flops(6) == pytest.approx(72.0)
+
+    def test_syrk(self):
+        assert flops.syrk_flops(4, 3) == 48.0
+
+    def test_gemv(self):
+        assert flops.gemv_flops(3, 5) == 30.0
+
+    def test_axpy(self):
+        assert flops.axpy_flops(7) == 14.0
+        assert flops.axpy_flops(-1) == 0.0
+
+    def test_bytes_positive(self):
+        assert flops.qr_bytes(4, 3) == 2 * 8 * 12
+        assert flops.matmul_bytes(2, 3, 4) == 8 * (6 + 12 + 8)
+        assert flops.trsm_bytes(4, 2) > 0

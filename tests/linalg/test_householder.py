@@ -1,0 +1,161 @@
+"""Unit and property tests for the compact Householder QR."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.linalg.householder import (
+    QRFactor,
+    householder_qr_numpy,
+    qr_r_only,
+    stack_blocks,
+)
+
+shapes = st.tuples(
+    st.integers(min_value=1, max_value=12),
+    st.integers(min_value=1, max_value=12),
+)
+
+
+def random_matrix(m, n, seed=0):
+    return np.random.default_rng(seed).standard_normal((m, n))
+
+
+class TestQRFactor:
+    def test_reconstruction_tall(self):
+        a = random_matrix(8, 5)
+        qf = QRFactor(a)
+        q = qf.q()
+        r_full = np.zeros((8, 5))
+        r_full[:5] = qf.r
+        assert np.allclose(q @ r_full, a, atol=1e-12)
+
+    def test_reconstruction_wide(self):
+        a = random_matrix(3, 7)
+        qf = QRFactor(a)
+        q = qf.q()
+        assert np.allclose(q @ qf.r, a, atol=1e-12)
+        assert qf.r.shape == (3, 7)
+
+    def test_q_orthogonal(self):
+        a = random_matrix(6, 4, seed=1)
+        q = QRFactor(a).q()
+        assert np.allclose(q @ q.T, np.eye(6), atol=1e-12)
+
+    def test_apply_qt_matches_explicit(self):
+        a = random_matrix(7, 3, seed=2)
+        c = random_matrix(7, 4, seed=3)
+        qf = QRFactor(a)
+        assert np.allclose(qf.apply_qt(c), qf.q().T @ c, atol=1e-12)
+
+    def test_apply_q_matches_explicit(self):
+        a = random_matrix(7, 3, seed=4)
+        c = random_matrix(7, 2, seed=5)
+        qf = QRFactor(a)
+        assert np.allclose(qf.apply_q(c), qf.q() @ c, atol=1e-12)
+
+    def test_apply_qt_vector(self):
+        a = random_matrix(5, 2, seed=6)
+        v = random_matrix(5, 1, seed=7)[:, 0]
+        qf = QRFactor(a)
+        out = qf.apply_qt(v)
+        assert out.shape == (5,)
+        assert np.allclose(out, qf.q().T @ v, atol=1e-12)
+
+    def test_r_is_upper_triangular(self):
+        a = random_matrix(9, 4, seed=8)
+        r = QRFactor(a).r
+        assert np.allclose(r, np.triu(r))
+
+    def test_r_square_requires_enough_rows(self):
+        with pytest.raises(np.linalg.LinAlgError, match="no square R"):
+            QRFactor(random_matrix(2, 5)).r_square()
+
+    def test_r_square_shape(self):
+        r = QRFactor(random_matrix(7, 4, seed=9)).r_square()
+        assert r.shape == (4, 4)
+
+    def test_empty_rows(self):
+        qf = QRFactor(np.zeros((0, 3)))
+        assert qf.r.shape == (0, 3)
+        out = qf.apply_qt(np.zeros((0, 2)))
+        assert out.shape == (0, 2)
+
+    def test_empty_cols(self):
+        qf = QRFactor(np.zeros((4, 0)))
+        c = random_matrix(4, 3, seed=10)
+        assert np.allclose(qf.apply_qt(c), c)
+
+    def test_wrong_row_count_raises(self):
+        qf = QRFactor(random_matrix(5, 3))
+        with pytest.raises(ValueError, match="cannot apply"):
+            qf.apply_qt(np.zeros((4, 2)))
+
+    def test_vector_input_becomes_column(self):
+        qf = QRFactor(np.array([3.0, 4.0]))
+        assert qf.m == 2 and qf.n == 1
+        assert np.isclose(abs(qf.r[0, 0]), 5.0)
+
+    def test_3d_input_rejected(self):
+        with pytest.raises(ValueError, match="ndim"):
+            QRFactor(np.zeros((2, 2, 2)))
+
+    @given(shapes)
+    def test_rtr_equals_ata(self, shape):
+        m, n = shape
+        a = random_matrix(m, n, seed=m * 100 + n)
+        r = QRFactor(a).r
+        assert np.allclose(r.T @ r, a.T @ a, atol=1e-10)
+
+    @given(shapes, st.integers(min_value=1, max_value=5))
+    def test_qt_preserves_norms(self, shape, k):
+        m, n = shape
+        a = random_matrix(m, n, seed=m * 31 + n)
+        c = random_matrix(m, k, seed=k)
+        out = QRFactor(a).apply_qt(c)
+        assert np.allclose(
+            np.linalg.norm(out, axis=0), np.linalg.norm(c, axis=0), atol=1e-10
+        )
+
+
+class TestNumpyReference:
+    @given(shapes)
+    def test_reference_matches_lapack_r(self, shape):
+        m, n = shape
+        a = random_matrix(m, n, seed=m * 7 + n)
+        _q, r_ref = householder_qr_numpy(a)
+        r = QRFactor(a).r
+        # R is unique up to row signs when A has full column rank.
+        rows = min(m, n)
+        assert np.allclose(
+            np.abs(r_ref[:rows]), np.abs(r[:rows]), atol=1e-8
+        )
+
+    @given(shapes)
+    def test_reference_reconstructs(self, shape):
+        m, n = shape
+        a = random_matrix(m, n, seed=m * 13 + n)
+        q, r = householder_qr_numpy(a)
+        assert np.allclose(q @ r, a, atol=1e-10)
+        assert np.allclose(q @ q.T, np.eye(m), atol=1e-10)
+
+    def test_reference_zero_column(self):
+        a = np.zeros((4, 2))
+        a[:, 1] = [1.0, 2.0, 3.0, 4.0]
+        q, r = householder_qr_numpy(a)
+        assert np.allclose(q @ r, a, atol=1e-12)
+
+
+class TestHelpers:
+    def test_qr_r_only(self):
+        a = random_matrix(6, 3, seed=20)
+        assert np.allclose(qr_r_only(a), QRFactor(a).r)
+
+    def test_stack_blocks_skips_empty(self):
+        out = stack_blocks(
+            [np.zeros((0, 2)), np.ones((2, 2)), np.zeros((0, 2))]
+        )
+        assert out.shape == (2, 2)
+
+    def test_stack_blocks_all_empty(self):
+        assert stack_blocks([np.zeros((0, 3))]).shape == (0, 3)

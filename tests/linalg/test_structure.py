@@ -1,0 +1,39 @@
+"""Tests for block-sparsity structure rendering (Fig 1 support)."""
+
+import numpy as np
+
+from repro.linalg.structure import fill_count, render_ascii, structure_matrix
+
+
+class TestStructureMatrix:
+    def test_identity_order(self):
+        rows = [(0, [1]), (1, [2]), (2, [])]
+        occ = structure_matrix(rows, [0, 1, 2])
+        expected = np.array(
+            [[1, 1, 0], [0, 1, 1], [0, 0, 1]], dtype=bool
+        )
+        assert np.array_equal(occ, expected)
+
+    def test_permuted_order_is_upper_triangular(self):
+        # Row 0 references column 2, which is later in the order.
+        rows = [(0, [2]), (2, [1]), (1, [])]
+        occ = structure_matrix(rows, [0, 2, 1])
+        assert np.array_equal(occ, np.triu(occ))
+
+    def test_diagonal_always_set(self):
+        occ = structure_matrix([(5, [])], [5])
+        assert occ[0, 0]
+
+
+class TestHelpers:
+    def test_fill_count(self):
+        assert fill_count([(0, [1, 2]), (1, [])]) == 4
+
+    def test_render_ascii(self):
+        occ = np.array([[True, False], [False, True]])
+        art = render_ascii(occ)
+        assert art.splitlines() == ["[]  ", "  []"]
+
+    def test_render_custom_glyphs(self):
+        occ = np.array([[True]])
+        assert render_ascii(occ, filled="X", empty=".") == "X"

@@ -1,0 +1,109 @@
+"""Tests for instrumented triangular and dense solves."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.linalg.triangular import (
+    check_triangular_system,
+    instrumented_matmul,
+    instrumented_solve,
+    solve_lower,
+    solve_upper,
+    solve_upper_transpose,
+    tri_inverse,
+)
+from repro.parallel.tally import tally_scope
+
+sizes = st.integers(min_value=1, max_value=10)
+
+
+def upper(n, seed=0):
+    a = np.random.default_rng(seed).standard_normal((n, n))
+    return np.triu(a) + n * np.eye(n)
+
+
+class TestSolves:
+    @given(sizes)
+    def test_solve_upper(self, n):
+        r = upper(n, seed=n)
+        b = np.random.default_rng(n + 1).standard_normal(n)
+        x = solve_upper(r, b)
+        assert np.allclose(r @ x, b, atol=1e-9)
+
+    @given(sizes)
+    def test_solve_upper_transpose(self, n):
+        r = upper(n, seed=n + 50)
+        b = np.random.default_rng(n).standard_normal(n)
+        x = solve_upper_transpose(r, b)
+        assert np.allclose(r.T @ x, b, atol=1e-9)
+
+    @given(sizes)
+    def test_solve_lower(self, n):
+        l = upper(n, seed=n + 99).T
+        b = np.random.default_rng(n).standard_normal((n, 3))
+        x = solve_lower(l, b)
+        assert np.allclose(l @ x, b, atol=1e-9)
+
+    def test_empty_system(self):
+        assert solve_upper(np.zeros((0, 0)), np.zeros(0)).shape == (0,)
+        assert tri_inverse(np.zeros((0, 0))).shape == (0, 0)
+
+    @given(sizes)
+    def test_tri_inverse(self, n):
+        r = upper(n, seed=n + 3)
+        assert np.allclose(tri_inverse(r) @ r, np.eye(n), atol=1e-9)
+
+    @given(sizes)
+    def test_instrumented_solve(self, n):
+        a = upper(n, seed=n).T @ upper(n, seed=n) + np.eye(n)
+        b = np.random.default_rng(n).standard_normal(n)
+        assert np.allclose(a @ instrumented_solve(a, b), b, atol=1e-8)
+
+    def test_instrumented_matmul(self):
+        a = np.random.default_rng(0).standard_normal((3, 4))
+        b = np.random.default_rng(1).standard_normal((4, 2))
+        assert np.allclose(instrumented_matmul(a, b), a @ b)
+
+
+class TestChecks:
+    def test_rejects_rectangular(self):
+        with pytest.raises(np.linalg.LinAlgError, match="square"):
+            check_triangular_system(np.zeros((2, 3)))
+
+    def test_rejects_zero_diagonal(self):
+        r = np.triu(np.ones((3, 3)))
+        r[1, 1] = 0.0
+        with pytest.raises(np.linalg.LinAlgError, match="singular"):
+            check_triangular_system(r)
+
+    def test_rejects_nan_diagonal(self):
+        r = np.eye(3)
+        r[2, 2] = np.nan
+        with pytest.raises(np.linalg.LinAlgError, match="singular"):
+            check_triangular_system(r)
+
+    def test_accepts_good_system(self):
+        check_triangular_system(upper(4))
+
+    def test_names_the_block(self):
+        with pytest.raises(np.linalg.LinAlgError, match=r"R\[7,7\]"):
+            check_triangular_system(np.zeros((2, 2)), what="R[7,7]")
+
+
+class TestCosts:
+    def test_solve_counts_flops(self):
+        r = upper(6)
+        with tally_scope() as tally:
+            solve_upper(r, np.ones(6))
+        assert tally.flops == 36.0  # n^2 k with k = 1
+        assert tally.kernel_calls == 1
+
+    def test_matmul_counts_flops(self):
+        with tally_scope() as tally:
+            instrumented_matmul(np.ones((2, 3)), np.ones((3, 4)))
+        assert tally.flops == 2 * 2 * 3 * 4
+
+    def test_no_tally_is_silent(self):
+        # Must not raise when no tally is installed.
+        solve_upper(upper(3), np.ones(3))

@@ -1,0 +1,79 @@
+"""Tests for the dense oracle assembly."""
+
+import numpy as np
+import pytest
+
+from repro.model.dense import assemble_dense, dense_covariance, dense_solve
+from repro.model.generators import random_problem
+from repro.model.problem import StateSpaceProblem
+from repro.model.steps import Evolution, Observation, Step
+
+
+class TestAssembly:
+    def test_shapes(self):
+        p = random_problem(k=3, seed=0, dims=[2, 3, 2, 4])
+        dense = assemble_dense(p)
+        white = p.whiten()
+        assert dense.a.shape == (white.total_rows(), sum(p.state_dims))
+        assert dense.b.shape == (white.total_rows(),)
+
+    def test_block_placement(self):
+        p = StateSpaceProblem(
+            [
+                Step(
+                    state_dim=1,
+                    observation=Observation(G=2 * np.eye(1), o=np.ones(1)),
+                ),
+                Step(
+                    state_dim=1,
+                    evolution=Evolution(F=3 * np.eye(1), c=np.zeros(1)),
+                ),
+            ]
+        )
+        dense = assemble_dense(p)
+        # Rows: [C_0], then [-B_1 D_1].
+        assert np.allclose(dense.a, [[2.0, 0.0], [-3.0, 1.0]])
+        assert np.allclose(dense.b, [1.0, 0.0])
+
+    def test_accepts_whitened_problem(self):
+        p = random_problem(k=2, seed=1)
+        d1 = assemble_dense(p)
+        d2 = assemble_dense(p.whiten())
+        assert np.allclose(d1.a, d2.a)
+
+
+class TestOracle:
+    def test_solve_matches_lstsq(self):
+        p = random_problem(k=4, seed=2, random_cov=True)
+        dense = assemble_dense(p)
+        flat, *_ = np.linalg.lstsq(dense.a, dense.b, rcond=None)
+        states = dense.solve()
+        assert np.allclose(np.concatenate(states), flat)
+
+    def test_covariance_is_spd(self):
+        p = random_problem(k=3, seed=3)
+        for cov in dense_covariance(p):
+            assert np.allclose(cov, cov.T, atol=1e-12)
+            assert np.all(np.linalg.eigvalsh(cov) > 0)
+
+    def test_full_inverse_diagonal_matches(self):
+        p = random_problem(k=3, seed=4)
+        dense = assemble_dense(p)
+        full = dense.full_inverse()
+        covs = dense.covariances()
+        for i in range(p.n_states):
+            sl = dense.layout.slice(i)
+            assert np.allclose(full[sl, sl], covs[i])
+
+    def test_residual(self):
+        p = random_problem(k=2, seed=5)
+        dense = assemble_dense(p)
+        states = dense.solve()
+        res = dense.residual_norm_sq(states)
+        assert res >= 0
+        worse = [s + 0.1 for s in states]
+        assert dense.residual_norm_sq(worse) > res
+
+    def test_dense_solve_helper(self):
+        p = random_problem(k=2, seed=6)
+        assert len(dense_solve(p)) == 3

@@ -1,0 +1,116 @@
+"""Tests for the workload and fixture generators."""
+
+import numpy as np
+import pytest
+
+from repro.model.generators import (
+    constant_velocity_problem,
+    dimension_change_problem,
+    ill_conditioned_problem,
+    random_orthonormal,
+    random_orthonormal_problem,
+    random_problem,
+    tracking_2d_problem,
+)
+
+
+class TestRandomOrthonormal:
+    def test_orthonormal(self):
+        q = random_orthonormal(7, np.random.default_rng(0))
+        assert np.allclose(q @ q.T, np.eye(7), atol=1e-12)
+
+    def test_deterministic_given_rng_state(self):
+        a = random_orthonormal(4, np.random.default_rng(5))
+        b = random_orthonormal(4, np.random.default_rng(5))
+        assert np.allclose(a, b)
+
+
+class TestPaperWorkload:
+    def test_structure_matches_spec(self):
+        """§5.2: fixed orthonormal F and G, H = I, K = L = I."""
+        p = random_orthonormal_problem(n=4, k=10, seed=3)
+        assert p.k == 10
+        assert p.state_dims == [4] * 11
+        f1 = p.steps[1].evolution.F
+        assert np.allclose(f1 @ f1.T, np.eye(4), atol=1e-12)
+        # fixed: all steps share the same F
+        for step in p.steps[2:]:
+            assert np.allclose(step.evolution.F, f1)
+            assert step.evolution.is_identity_h()
+
+    def test_unfixed_variant(self):
+        p = random_orthonormal_problem(n=3, k=5, seed=1, fixed=False)
+        assert not np.allclose(
+            p.steps[1].evolution.F, p.steps[2].evolution.F
+        )
+
+    def test_prior_flag(self):
+        assert random_orthonormal_problem(4, 3, with_prior=False).prior is None
+        assert random_orthonormal_problem(4, 3, with_prior=True).prior is not None
+
+    def test_seed_reproducible(self):
+        a = random_orthonormal_problem(3, 4, seed=9)
+        b = random_orthonormal_problem(3, 4, seed=9)
+        assert np.allclose(
+            a.steps[0].observation.o, b.steps[0].observation.o
+        )
+
+
+class TestRandomProblem:
+    def test_varying_dims(self):
+        p = random_problem(k=3, seed=0, dims=[2, 4, 3, 5])
+        assert p.state_dims == [2, 4, 3, 5]
+
+    def test_dims_length_checked(self):
+        with pytest.raises(ValueError, match="dimensions"):
+            random_problem(k=3, seed=0, dims=[2, 2])
+
+    def test_missing_observations(self):
+        p = random_problem(k=30, seed=1, obs_prob=0.3)
+        n_obs = p.observation_count()
+        assert 0 < n_obs < 31
+
+    def test_no_prior_keeps_state0_observed(self):
+        p = random_problem(k=5, seed=2, with_prior=False)
+        assert p.prior is None
+        assert p.steps[0].observation is not None
+
+
+class TestTrackingProblems:
+    def test_constant_velocity_shapes(self):
+        p, truth = constant_velocity_problem(k=20, seed=0)
+        assert truth.shape == (21, 2)
+        assert p.k == 20
+        assert p.steps[5].observation.rows == 1
+
+    def test_tracking_2d_dropouts(self):
+        p, truth = tracking_2d_problem(k=40, seed=1, obs_prob=0.5)
+        assert truth.shape == (41, 4)
+        missing = sum(1 for s in p.steps if s.observation is None)
+        assert missing > 0
+
+    def test_truth_follows_dynamics_roughly(self):
+        _p, truth = constant_velocity_problem(
+            k=50, seed=2, process_noise=1e-8, obs_noise=1e-4
+        )
+        # Nearly noiseless: position grows about linearly with velocity 1.
+        assert truth[-1, 0] == pytest.approx(50 * 0.1, rel=0.05)
+
+
+class TestSpecialProblems:
+    def test_ill_conditioned_covariances(self):
+        p = ill_conditioned_problem(n=3, k=2, cond=1e6, seed=0)
+        k_cov = p.steps[1].evolution.K.covariance()
+        assert np.linalg.cond(k_cov) == pytest.approx(1e6, rel=1e-6)
+
+    def test_dimension_change_problem(self):
+        p = dimension_change_problem(k=6, n_small=2, n_large=4)
+        dims = set(p.state_dims)
+        assert dims == {2, 4}
+        assert not all(
+            s.evolution.is_identity_h() for s in p.steps[1:]
+        )
+
+    def test_dimension_change_validation(self):
+        with pytest.raises(ValueError):
+            dimension_change_problem(k=4, n_small=4, n_large=2)

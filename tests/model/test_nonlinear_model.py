@@ -1,0 +1,128 @@
+"""Tests for nonlinear models and their Gauss–Newton linearization."""
+
+import numpy as np
+import pytest
+
+from repro.model.dense import dense_solve
+from repro.model.generators import random_problem
+from repro.model.nonlinear import (
+    NonlinearFunction,
+    NonlinearProblem,
+    NonlinearStep,
+    coordinated_turn_problem,
+    pendulum_problem,
+)
+from repro.model.steps import GaussianPrior
+
+
+class TestNonlinearFunction:
+    def test_finite_difference_jacobian(self):
+        f = NonlinearFunction(lambda x: np.array([x[0] ** 2, x[0] * x[1]]))
+        jac = f.jac(np.array([2.0, 3.0]))
+        assert np.allclose(jac, [[4.0, 0.0], [3.0, 2.0]], atol=1e-5)
+
+    def test_analytic_jacobian_used(self):
+        f = NonlinearFunction(
+            lambda x: x**2, jacobian=lambda x: np.diag(2 * x)
+        )
+        assert np.allclose(f.jac(np.array([1.0, 2.0])), np.diag([2.0, 4.0]))
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [pendulum_problem, coordinated_turn_problem],
+    ids=["pendulum", "coordinated-turn"],
+)
+class TestBenchmarkModels:
+    def test_analytic_jacobians_match_fd(self, factory):
+        problem, truth = factory(k=5, seed=0)
+        x = truth[2]
+        step = problem.steps[3]
+        evo_analytic = step.evolution_fn.jac(x)
+        evo_fd = NonlinearFunction(step.evolution_fn.fn).jac(x)
+        assert np.allclose(evo_analytic, evo_fd, atol=1e-4)
+        obs_analytic = step.observation_fn.jac(x)
+        obs_fd = NonlinearFunction(step.observation_fn.fn).jac(x)
+        assert np.allclose(obs_analytic, obs_fd, atol=1e-4)
+
+    def test_objective_nonnegative(self, factory):
+        problem, truth = factory(k=8, seed=1)
+        assert problem.objective(list(truth)) >= 0
+
+
+class TestLinearize:
+    def test_linear_system_linearizes_to_itself(self):
+        """Linearizing an (affine) nonlinear wrapper of a linear problem
+        reproduces the linear problem's solution in one step."""
+        linear = random_problem(k=3, seed=2, dims=2)
+        f_mats = [s.evolution.F if s.evolution else None for s in linear.steps]
+        c_vecs = [s.evolution.c if s.evolution else None for s in linear.steps]
+        steps = []
+        for i, s in enumerate(linear.steps):
+            evo_fn = None
+            if i > 0:
+                evo_fn = NonlinearFunction(
+                    (lambda F: lambda x: F @ x)(f_mats[i]),
+                    (lambda F: lambda x: F)(f_mats[i]),
+                )
+            obs = s.observation
+            obs_fn = None
+            if obs is not None:
+                obs_fn = NonlinearFunction(
+                    (lambda G: lambda x: G @ x)(obs.G),
+                    (lambda G: lambda x: G)(obs.G),
+                )
+            steps.append(
+                NonlinearStep(
+                    state_dim=s.state_dim,
+                    evolution_fn=evo_fn,
+                    evolution_cov=None if i == 0 else np.eye(2),
+                    c=c_vecs[i],
+                    observation_fn=obs_fn,
+                    observation=None if obs is None else obs.o,
+                    observation_cov=None if obs is None else np.eye(obs.rows),
+                )
+            )
+        nl = NonlinearProblem(steps, prior=linear.prior)
+        anywhere = [np.ones(2) for _ in steps]
+        relinearized = nl.linearize(anywhere)
+        assert np.allclose(
+            np.concatenate(dense_solve(relinearized)),
+            np.concatenate(dense_solve(linear)),
+            atol=1e-9,
+        )
+
+    def test_linearize_length_checked(self):
+        problem, _ = pendulum_problem(k=3)
+        with pytest.raises(ValueError, match="trajectory"):
+            problem.linearize([np.zeros(2)])
+
+
+class TestValidation:
+    def test_first_step_evolution_rejected(self):
+        with pytest.raises(ValueError):
+            NonlinearProblem(
+                [
+                    NonlinearStep(
+                        state_dim=1,
+                        evolution_fn=NonlinearFunction(lambda x: x),
+                    )
+                ]
+            )
+
+    def test_missing_evolution_rejected(self):
+        with pytest.raises(ValueError, match="missing"):
+            NonlinearProblem(
+                [NonlinearStep(state_dim=1), NonlinearStep(state_dim=1)]
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            NonlinearProblem([])
+
+    def test_prior_enters_objective(self):
+        steps = [NonlinearStep(state_dim=1)]
+        p0 = NonlinearProblem(
+            steps, prior=GaussianPrior(mean=np.zeros(1))
+        )
+        assert p0.objective([np.array([2.0])]) == pytest.approx(4.0)

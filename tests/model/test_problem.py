@@ -1,0 +1,149 @@
+"""Tests for problem validation, whitening, and the objective."""
+
+import numpy as np
+import pytest
+
+from repro.model.dense import assemble_dense
+from repro.model.generators import random_problem
+from repro.model.problem import StateSpaceProblem
+from repro.model.steps import Evolution, GaussianPrior, Observation, Step
+
+
+def two_step_problem():
+    return StateSpaceProblem(
+        [
+            Step(
+                state_dim=2,
+                observation=Observation(G=np.eye(2), o=np.array([1.0, 0.0])),
+            ),
+            Step(
+                state_dim=2,
+                evolution=Evolution(F=0.5 * np.eye(2), c=np.ones(2)),
+                observation=Observation(G=np.eye(2), o=np.array([0.0, 1.0])),
+            ),
+        ]
+    )
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one step"):
+            StateSpaceProblem([])
+
+    def test_first_step_with_evolution_rejected(self):
+        with pytest.raises(ValueError, match="first state"):
+            StateSpaceProblem(
+                [Step(state_dim=2, evolution=Evolution(F=np.eye(2)))]
+            )
+
+    def test_missing_evolution_rejected(self):
+        with pytest.raises(ValueError, match="missing its evolution"):
+            StateSpaceProblem([Step(state_dim=2), Step(state_dim=2)])
+
+    def test_dim_chain_rejected(self):
+        with pytest.raises(ValueError, match="columns"):
+            StateSpaceProblem(
+                [
+                    Step(state_dim=3),
+                    Step(state_dim=2, evolution=Evolution(F=np.eye(2))),
+                ]
+            )
+
+    def test_prior_dim_rejected(self):
+        with pytest.raises(ValueError, match="prior has dimension"):
+            StateSpaceProblem(
+                [Step(state_dim=2)],
+                prior=GaussianPrior(mean=np.zeros(3)),
+            )
+
+
+class TestQueries:
+    def test_counts(self):
+        p = two_step_problem()
+        assert p.k == 1
+        assert p.n_states == 2
+        assert p.state_dims == [2, 2]
+        assert p.observation_count() == 2
+        assert p.has_uniform_dims()
+        assert p.all_h_identity()
+
+    def test_without_prior(self):
+        p = random_problem(k=3, seed=0)
+        assert p.prior is not None
+        assert p.without_prior().prior is None
+
+    def test_subproblem(self):
+        p = random_problem(k=5, seed=1)
+        sub = p.subproblem(2)
+        assert sub.k == 2
+        assert sub.prior is p.prior
+        with pytest.raises(ValueError):
+            p.subproblem(9)
+
+
+class TestWhitening:
+    def test_whitened_blocks_match_by_hand(self):
+        p = two_step_problem()
+        white = p.whiten()
+        # Unit covariances: whitening is the identity map.
+        assert np.allclose(white.steps[0].C, np.eye(2))
+        assert np.allclose(white.steps[1].B, 0.5 * np.eye(2))
+        assert np.allclose(white.steps[1].D, np.eye(2))
+        assert np.allclose(white.steps[1].rhs_BD, np.ones(2))
+
+    def test_nonunit_covariance_scales_rows(self):
+        p = StateSpaceProblem(
+            [
+                Step(
+                    state_dim=1,
+                    observation=Observation(
+                        G=np.eye(1), o=np.array([2.0]), L=4.0 * np.eye(1)
+                    ),
+                )
+            ]
+        )
+        white = p.whiten()
+        assert np.allclose(white.steps[0].C, [[0.5]])
+        assert np.allclose(white.steps[0].rhs_C, [1.0])
+
+    def test_prior_folds_into_step0(self):
+        p = random_problem(k=2, seed=2).without_prior()
+        base_rows = p.whiten().steps[0].obs_rows
+        withp = p.with_prior(GaussianPrior(mean=np.zeros(p.state_dims[0])))
+        assert (
+            withp.whiten().steps[0].obs_rows
+            == base_rows + p.state_dims[0]
+        )
+
+    def test_total_rows(self):
+        white = two_step_problem().whiten()
+        assert white.total_rows() == 6  # 2 obs + 2 evo + 2 obs
+
+
+class TestObjective:
+    def test_matches_dense_residual(self):
+        p = random_problem(k=4, seed=3, random_cov=True)
+        dense = assemble_dense(p)
+        states = [
+            np.random.default_rng(i).standard_normal(n)
+            for i, n in enumerate(p.state_dims)
+        ]
+        assert p.objective(states) == pytest.approx(
+            dense.residual_norm_sq(states), rel=1e-10
+        )
+
+    def test_solution_minimizes(self):
+        p = random_problem(k=4, seed=4)
+        solution = assemble_dense(p).solve()
+        base = p.objective(solution)
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            perturbed = [
+                s + 0.01 * rng.standard_normal(s.shape) for s in solution
+            ]
+            assert p.objective(perturbed) > base
+
+    def test_wrong_length_rejected(self):
+        p = random_problem(k=2, seed=5)
+        with pytest.raises(ValueError, match="state vectors"):
+            p.objective([np.zeros(3)])

@@ -1,0 +1,129 @@
+"""Tests for simulation and statistical consistency diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.core.smoother import OddEvenSmoother
+from repro.kalman.kf import KalmanFilter
+from repro.model.generators import random_problem
+from repro.model.simulate import (
+    innovation_whiteness,
+    nees,
+    nees_consistent,
+    simulate_problem,
+)
+
+
+class TestSimulateProblem:
+    def test_shapes_and_determinism(self):
+        template = random_problem(k=10, seed=0, dims=3, random_cov=True)
+        sim1, truth1 = simulate_problem(template, seed=1)
+        sim2, truth2 = simulate_problem(template, seed=1)
+        assert truth1.shape == (11, 3)
+        assert np.array_equal(truth1, truth2)
+        assert sim1.k == template.k
+
+    def test_different_seeds_differ(self):
+        template = random_problem(k=5, seed=0, dims=2)
+        _s1, t1 = simulate_problem(template, seed=1)
+        _s2, t2 = simulate_problem(template, seed=2)
+        assert not np.allclose(t1, t2)
+
+    def test_rejects_varying_dims(self):
+        template = random_problem(k=3, seed=0, dims=[2, 3, 2, 3])
+        with pytest.raises(ValueError, match="uniform"):
+            simulate_problem(template)
+
+    def test_rejects_nonidentity_h(self):
+        from repro.model.problem import StateSpaceProblem
+        from repro.model.steps import Evolution, GaussianPrior, Step
+
+        problem = StateSpaceProblem(
+            [
+                Step(state_dim=2),
+                Step(
+                    state_dim=2,
+                    evolution=Evolution(F=np.eye(2), H=2.0 * np.eye(2)),
+                ),
+            ],
+            prior=GaussianPrior(mean=np.zeros(2)),
+        )
+        with pytest.raises(ValueError, match="H_i = I"):
+            simulate_problem(problem)
+
+    def test_rejects_missing_prior(self):
+        template = random_problem(k=3, seed=0, with_prior=False)
+        with pytest.raises(ValueError, match="prior"):
+            simulate_problem(template)
+
+    def test_observations_follow_truth(self):
+        template = random_problem(k=20, seed=1, dims=2)
+        sim, truth = simulate_problem(template, seed=2)
+        residuals = []
+        for i, step in enumerate(sim.steps):
+            if step.observation is not None:
+                residuals.append(
+                    step.observation.o - step.observation.G @ truth[i]
+                )
+        # Observation noise has the declared (well-conditioned, O(1))
+        # covariance: residuals are O(1), not O(|o|).
+        assert np.mean(np.abs(np.concatenate(residuals))) < 5.0
+
+
+class TestNEES:
+    @pytest.fixture(scope="class")
+    def smoothed(self):
+        template = random_problem(
+            k=250, seed=3, dims=3, random_cov=True
+        )
+        sim, truth = simulate_problem(template, seed=4)
+        result = OddEvenSmoother().smooth(sim)
+        return result, truth
+
+    def test_smoother_is_consistent(self, smoothed):
+        """The paper-critical statistical check: the SelInv covariances
+        describe the smoother's actual errors (chi-square NEES)."""
+        result, truth = smoothed
+        values = nees(result.means, result.covariances, truth)[::5]
+        ok, mean_nees, (lo, hi) = nees_consistent(values, dim=3)
+        assert ok, f"mean NEES {mean_nees:.2f} outside [{lo:.2f}, {hi:.2f}]"
+
+    def test_shrunk_covariances_fail_the_test(self, smoothed):
+        """Sanity: the test has power — report covariances 10x too
+        small and consistency is rejected."""
+        result, truth = smoothed
+        shrunk = [0.1 * c for c in result.covariances]
+        values = nees(result.means, shrunk, truth)[::5]
+        ok, _m, _b = nees_consistent(values, dim=3)
+        assert not ok
+
+    def test_nees_nonnegative(self, smoothed):
+        result, truth = smoothed
+        assert np.all(nees(result.means, result.covariances, truth) >= 0)
+
+
+class TestInnovationWhiteness:
+    def test_filter_innovations_are_white(self):
+        template = random_problem(k=400, seed=5, dims=2)
+        sim, _truth = simulate_problem(template, seed=6)
+        filt = KalmanFilter().filter(sim)
+        innovations = []
+        for i, step in enumerate(sim.steps):
+            if step.observation is not None:
+                innovations.append(
+                    step.observation.o
+                    - step.observation.G @ filt.predicted_means[i]
+                )
+        acf = innovation_whiteness(innovations)
+        assert np.all(np.abs(acf) < 0.15)
+
+    def test_correlated_sequence_detected(self):
+        rng = np.random.default_rng(0)
+        noise = rng.standard_normal(500)
+        trending = np.cumsum(noise)  # strongly autocorrelated
+        acf = innovation_whiteness([np.array([v]) for v in trending])
+        assert acf[0] > 0.8
+
+    def test_constant_sequence(self):
+        acf = innovation_whiteness([np.zeros(1)] * 10)
+        assert np.allclose(acf, 0.0)

@@ -1,0 +1,86 @@
+"""Tests for the aligned arena allocator (scalable-allocator stand-in)."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.allocator import (
+    ArenaAllocator,
+    aligned_empty,
+    is_aligned,
+)
+from repro.parallel.tally import tally_scope
+
+
+class TestAlignedEmpty:
+    @pytest.mark.parametrize("shape", [(3,), (4, 5), (2, 3, 4), 7])
+    def test_alignment(self, shape):
+        a = aligned_empty(shape)
+        assert is_aligned(a, 64)
+        assert a.dtype == np.float64
+
+    def test_shape_preserved(self):
+        assert aligned_empty((3, 5)).shape == (3, 5)
+
+    def test_custom_alignment(self):
+        a = aligned_empty((8,), align=256)
+        assert is_aligned(a, 256)
+
+    def test_rejects_bad_alignment(self):
+        with pytest.raises(ValueError):
+            aligned_empty((2,), align=10)
+
+    def test_writable(self):
+        a = aligned_empty((4, 4))
+        a[:] = 1.0
+        assert a.sum() == 16.0
+
+    def test_reports_bytes_to_tally(self):
+        with tally_scope() as t:
+            aligned_empty((10, 10))
+        assert t.bytes_moved == 800.0
+
+
+class TestArenaAllocator:
+    def test_allocate_shape(self):
+        alloc = ArenaAllocator()
+        a = alloc.allocate((6, 2))
+        assert a.shape == (6, 2)
+        assert is_aligned(a)
+
+    def test_release_then_reuse(self):
+        alloc = ArenaAllocator()
+        a = alloc.allocate((4, 4))
+        alloc.release(a)
+        b = alloc.allocate((4, 4))
+        assert b is a
+        assert alloc.stats.reuses == 1
+
+    def test_different_shapes_not_mixed(self):
+        alloc = ArenaAllocator()
+        a = alloc.allocate((2, 2))
+        alloc.release(a)
+        b = alloc.allocate((3, 3))
+        assert b is not a
+        assert alloc.stats.allocations == 2
+
+    def test_pool_cap(self):
+        alloc = ArenaAllocator(max_pool_per_shape=2)
+        buffers = [alloc.allocate((2,)) for _ in range(5)]
+        for b in buffers:
+            alloc.release(b)
+        assert alloc.stats.releases == 5
+        reused = [alloc.allocate((2,)) for _ in range(5)]
+        del reused
+        # Only 2 could come from the pool.
+        assert alloc.stats.reuses == 2
+
+    def test_drain_publishes_stats(self):
+        alloc = ArenaAllocator()
+        alloc.allocate((3,))
+        alloc.drain()
+        assert alloc.stats.allocations == 1
+        assert alloc.stats.bytes_allocated == 24
+
+    def test_scalar_shape(self):
+        a = ArenaAllocator().allocate(5)
+        assert a.shape == (5,)

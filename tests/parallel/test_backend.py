@@ -1,0 +1,159 @@
+"""Tests for the execution backends (the TBB stand-in)."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.householder import QRFactor
+from repro.parallel.backend import (
+    RecordingBackend,
+    SerialBackend,
+    ThreadPoolBackend,
+    blocked_ranges,
+)
+
+
+class TestBlockedRanges:
+    def test_exact_division(self):
+        blocks = blocked_ranges(10, 5)
+        assert [list(b) for b in blocks] == [[0, 1, 2, 3, 4], [5, 6, 7, 8, 9]]
+
+    def test_remainder(self):
+        blocks = blocked_ranges(7, 3)
+        assert [len(b) for b in blocks] == [3, 3, 1]
+
+    def test_single_block(self):
+        assert len(blocked_ranges(3, 100)) == 1
+
+    def test_empty(self):
+        assert blocked_ranges(0, 4) == []
+
+    def test_rejects_bad_block_size(self):
+        with pytest.raises(ValueError):
+            blocked_ranges(5, 0)
+
+
+@pytest.mark.parametrize(
+    "backend_factory",
+    [
+        lambda: SerialBackend(),
+        lambda: ThreadPoolBackend(3, block_size=2),
+        lambda: RecordingBackend(block_size=2),
+    ],
+    ids=["serial", "threads", "recording"],
+)
+class TestMapSemantics:
+    def test_map_preserves_order(self, backend_factory):
+        with backend_factory() as backend:
+            out = backend.map(range(17), lambda i: i * i)
+        assert out == [i * i for i in range(17)]
+
+    def test_map_arbitrary_items(self, backend_factory):
+        with backend_factory() as backend:
+            out = backend.map(["a", "bb", "ccc"], len)
+        assert out == [1, 2, 3]
+
+    def test_parallel_for_side_effects(self, backend_factory):
+        results = [0] * 23
+        with backend_factory() as backend:
+
+            def body(i):
+                results[i] = i + 1
+
+            backend.parallel_for(23, body)
+        assert results == list(range(1, 24))
+
+    def test_serial_for_runs_in_order(self, backend_factory):
+        seen = []
+        with backend_factory() as backend:
+            backend.serial_for(6, seen.append)
+        assert seen == list(range(6))
+
+    def test_empty_map(self, backend_factory):
+        with backend_factory() as backend:
+            assert backend.map([], lambda x: x) == []
+
+
+class TestValidation:
+    def test_rejects_bad_block_size(self):
+        with pytest.raises(ValueError):
+            SerialBackend(block_size=0)
+
+    def test_rejects_bad_thread_count(self):
+        with pytest.raises(ValueError):
+            ThreadPoolBackend(0)
+
+
+class TestRecordingBackend:
+    def test_phases_and_tasks(self):
+        backend = RecordingBackend(block_size=4)
+        backend.map(range(10), lambda i: i, phase="phase-one")
+        graph = backend.graph
+        assert len(graph.phases) == 1
+        phase = graph.phases[0]
+        assert phase.name == "phase-one"
+        assert phase.kind == "parallel_for"
+        assert len(phase.tasks) == 3  # ceil(10 / 4)
+        assert [t.items for t in phase.tasks] == [4, 4, 2]
+
+    def test_records_kernel_costs(self):
+        backend = RecordingBackend(block_size=1)
+        a = np.random.default_rng(0).standard_normal((6, 3))
+        backend.map(range(3), lambda i: QRFactor(a), phase="qr")
+        tasks = backend.graph.phases[0].tasks
+        assert all(t.flops > 0 for t in tasks)
+        assert all(t.kernel_calls == 1 for t in tasks)
+
+    def test_serial_phase_kind(self):
+        backend = RecordingBackend()
+        backend.serial_for(5, lambda i: None, phase="sweep")
+        phase = backend.graph.phases[0]
+        assert phase.kind == "serial"
+        assert len(phase.tasks) == 5
+
+    def test_reset_returns_old_graph(self):
+        backend = RecordingBackend()
+        backend.map(range(3), lambda i: i, phase="a")
+        old = backend.reset()
+        assert len(old.phases) == 1
+        assert len(backend.graph.phases) == 0
+
+    def test_block_size_override(self):
+        backend = RecordingBackend(block_size=10)
+        backend.map(range(10), lambda i: i, phase="x", block_size=1)
+        assert len(backend.graph.phases[0].tasks) == 10
+
+
+class TestThreadPoolBackend:
+    def test_actually_uses_threads(self):
+        import threading
+
+        seen = set()
+        with ThreadPoolBackend(4, block_size=1) as backend:
+
+            def body(i):
+                seen.add(threading.get_ident())
+                return i
+
+            backend.map(range(64), body)
+        # At least the pool's threads or the main thread participated.
+        assert len(seen) >= 1
+
+    def test_small_input_stays_inline(self):
+        import threading
+
+        main = threading.get_ident()
+        seen = []
+        with ThreadPoolBackend(4, block_size=100) as backend:
+            backend.map(range(5), lambda i: seen.append(threading.get_ident()))
+        assert set(seen) == {main}
+
+    def test_exceptions_propagate(self):
+        with ThreadPoolBackend(2, block_size=1) as backend:
+            with pytest.raises(RuntimeError, match="boom"):
+
+                def body(i):
+                    if i == 33:
+                        raise RuntimeError("boom")
+                    return i
+
+                backend.map(range(64), body)

@@ -1,0 +1,86 @@
+"""Tests for the lock-striped concurrent set (paper §3.2 substrate)."""
+
+import threading
+
+import pytest
+
+from repro.parallel.concurrent_set import ConcurrentSet
+
+
+class TestSemantics:
+    def test_add_and_contains(self):
+        s = ConcurrentSet()
+        assert s.add("x")
+        assert not s.add("x")  # already present
+        assert "x" in s
+        assert "y" not in s
+
+    def test_discard(self):
+        s = ConcurrentSet()
+        s.add(1)
+        assert s.discard(1)
+        assert not s.discard(1)
+        assert 1 not in s
+
+    def test_len(self):
+        s = ConcurrentSet(stripes=4)
+        s.update(range(100))
+        assert len(s) == 100
+
+    def test_snapshot(self):
+        s = ConcurrentSet()
+        s.update("abc")
+        assert s.snapshot() == {"a", "b", "c"}
+
+    def test_clear_returns_count(self):
+        s = ConcurrentSet()
+        s.update(range(7))
+        assert s.clear() == 7
+        assert len(s) == 0
+
+    def test_rejects_bad_stripes(self):
+        with pytest.raises(ValueError):
+            ConcurrentSet(stripes=0)
+
+
+class TestConcurrency:
+    def test_parallel_inserts(self):
+        s = ConcurrentSet(stripes=8)
+        n_threads, per_thread = 8, 500
+
+        def worker(tid):
+            for i in range(per_thread):
+                s.add((tid, i))
+
+        threads = [
+            threading.Thread(target=worker, args=(t,))
+            for t in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(s) == n_threads * per_thread
+
+    def test_mixed_add_discard(self):
+        s = ConcurrentSet()
+        s.update(range(1000))
+
+        def remover():
+            for i in range(1000):
+                s.discard(i)
+
+        def adder():
+            for i in range(1000, 2000):
+                s.add(i)
+
+        threads = [
+            threading.Thread(target=remover),
+            threading.Thread(target=adder),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(s) == 1000
+        assert 1500 in s and 500 not in s

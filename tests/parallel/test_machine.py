@@ -1,0 +1,103 @@
+"""Tests for the calibrated machine models."""
+
+import pytest
+
+from repro.parallel.machine import (
+    E5_2699V3,
+    GOLD_6238R,
+    GRAVITON3,
+    MACHINES,
+    MachineModel,
+)
+
+
+class TestPresets:
+    def test_registry(self):
+        assert set(MACHINES) == {"Graviton3", "Gold-6238R", "E5-2699v3"}
+
+    def test_core_counts_match_paper(self):
+        assert GRAVITON3.cores == 64
+        assert GOLD_6238R.cores == 56 and GOLD_6238R.sockets == 2
+        assert E5_2699V3.cores == 36 and E5_2699V3.sockets == 2
+
+    @pytest.mark.parametrize("m", [GRAVITON3, GOLD_6238R, E5_2699V3])
+    def test_validate(self, m):
+        m.validate()
+
+
+class TestRates:
+    def test_intel_has_single_core_turbo(self):
+        assert GOLD_6238R.rate_per_core(1) > GOLD_6238R.rate_per_core(28)
+
+    def test_graviton_rate_nearly_flat(self):
+        r1 = GRAVITON3.rate_per_core(1)
+        r64 = GRAVITON3.rate_per_core(64)
+        assert 0.9 < r64 / r1 <= 1.0
+
+    def test_cross_socket_penalty(self):
+        """Rate per core drops discontinuously past one socket (the
+        §5.4 stagnation mechanism)."""
+        assert GOLD_6238R.rate_per_core(29) < GOLD_6238R.rate_per_core(28)
+
+    def test_rate_clamps_out_of_range(self):
+        assert GRAVITON3.rate_per_core(0) == GRAVITON3.rate_per_core(1)
+        assert GRAVITON3.rate_per_core(1000) == GRAVITON3.rate_per_core(64)
+
+
+class TestBandwidth:
+    def test_single_core_gets_full_share(self):
+        assert GRAVITON3.bw_per_core(1) == pytest.approx(14.0e9)
+
+    def test_saturation(self):
+        """Per-core share shrinks once the socket saturates."""
+        assert GRAVITON3.bw_per_core(64) < GRAVITON3.bw_per_core(4)
+        assert GRAVITON3.bw_per_core(64) == pytest.approx(190.0e9 / 64)
+
+    def test_numa_efficiency_applies_beyond_socket(self):
+        total_28 = GOLD_6238R.bw_per_core(28) * 28
+        total_56 = GOLD_6238R.bw_per_core(56) * 56
+        # Two sockets with NUMA loss deliver barely more than one.
+        assert total_56 < 1.2 * total_28
+
+    def test_total_bw_monotone_within_socket(self):
+        totals = [GOLD_6238R.bw_per_core(p) * p for p in (1, 4, 8, 16, 28)]
+        assert all(a <= b + 1e-6 for a, b in zip(totals, totals[1:]))
+
+
+class TestTaskSeconds:
+    def test_compute_bound(self):
+        t = GRAVITON3.task_seconds(7e9, 0.0, 0, 1)
+        assert t == pytest.approx(1.0, rel=0.01)
+
+    def test_memory_bound(self):
+        t = GRAVITON3.task_seconds(0.0, 14e9, 0, 1)
+        assert t == pytest.approx(1.0, rel=0.01)
+
+    def test_roofline_max_not_sum(self):
+        both = GRAVITON3.task_seconds(7e9, 14e9, 0, 1)
+        assert both == pytest.approx(1.0, rel=0.01)
+
+    def test_kernel_overhead_counts(self):
+        base = GRAVITON3.task_seconds(0.0, 0.0, 0, 1)
+        with_calls = GRAVITON3.task_seconds(0.0, 0.0, 100, 1)
+        assert with_calls > base
+
+    def test_barrier_grows_with_cores(self):
+        assert GRAVITON3.barrier_seconds(64) > GRAVITON3.barrier_seconds(1)
+
+
+class TestValidation:
+    def test_bad_socket_split(self):
+        m = MachineModel(
+            name="bad",
+            cores=10,
+            cores_per_socket=3,
+            gflops_per_core=1.0,
+            turbo_single=1.0,
+            turbo_all=1.0,
+            bw_single_gbs=1.0,
+            bw_socket_gbs=1.0,
+            numa_efficiency=1.0,
+        )
+        with pytest.raises(ValueError):
+            m.validate()

@@ -1,0 +1,168 @@
+"""Tests for the discrete-event schedulers and their theoretical bounds."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.parallel.machine import GOLD_6238R, GRAVITON3, MachineModel
+from repro.parallel.scheduler import (
+    greedy_schedule,
+    simulate_speedup_curve,
+    work_stealing_schedule,
+)
+from repro.parallel.task_graph import PhaseRecord, TaskGraph, TaskRecord
+
+#: A frictionless machine: pure compute, no overheads — Brent's bound
+#: holds exactly on it.
+IDEAL = MachineModel(
+    name="ideal",
+    cores=64,
+    cores_per_socket=64,
+    gflops_per_core=1.0,
+    turbo_single=1.0,
+    turbo_all=1.0,
+    bw_single_gbs=1e12,
+    bw_socket_gbs=1e15,
+    numa_efficiency=1.0,
+    spawn_overhead_s=0.0,
+    kernel_overhead_s=0.0,
+    barrier_base_s=0.0,
+    barrier_log_s=0.0,
+)
+
+
+def graph_from_costs(costs_per_phase, kind="parallel_for") -> TaskGraph:
+    graph = TaskGraph()
+    for name, costs in costs_per_phase:
+        phase = PhaseRecord(name=name, kind=kind)
+        phase.tasks = [TaskRecord(flops=c) for c in costs]
+        graph.phases.append(phase)
+    return graph
+
+
+task_lists = st.lists(
+    st.lists(
+        st.floats(min_value=1e3, max_value=1e9, allow_nan=False),
+        min_size=1,
+        max_size=30,
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+
+class TestGreedyBounds:
+    @given(task_lists, st.sampled_from([1, 2, 3, 7, 16, 64]))
+    def test_brent_bounds(self, phases, p):
+        """max(T1/p, span) <= makespan <= T1/p + span (greedy theorem)."""
+        graph = graph_from_costs(
+            [(f"ph{i}", costs) for i, costs in enumerate(phases)]
+        )
+        rate = 1e9  # flops/s on the ideal machine
+        t1 = graph.work_flops / rate
+        span = (
+            sum(max(costs) for costs in phases) / rate
+        )  # per-phase barriers
+        makespan = greedy_schedule(graph, IDEAL, p).seconds
+        assert makespan >= max(t1 / p, span) - 1e-12
+        assert makespan <= t1 / p + span + 1e-12
+
+    def test_single_core_equals_work(self):
+        graph = graph_from_costs([("a", [1e6, 2e6, 3e6])])
+        assert greedy_schedule(graph, IDEAL, 1).seconds == pytest.approx(
+            6e6 / 1e9
+        )
+
+    def test_perfect_split(self):
+        graph = graph_from_costs([("a", [1e6] * 8)])
+        assert greedy_schedule(graph, IDEAL, 8).seconds == pytest.approx(
+            1e6 / 1e9
+        )
+
+    def test_serial_phase_ignores_cores(self):
+        graph = graph_from_costs([("s", [1e6] * 10)], kind="serial")
+        t1 = greedy_schedule(graph, IDEAL, 1).seconds
+        t64 = greedy_schedule(graph, IDEAL, 64).seconds
+        assert t64 == pytest.approx(t1)
+
+    def test_more_cores_never_slower(self):
+        graph = graph_from_costs(
+            [("a", list(np.linspace(1e5, 1e7, 37))), ("b", [5e6] * 11)]
+        )
+        times = simulate_speedup_curve(graph, IDEAL, [1, 2, 4, 8, 16, 32, 64])
+        values = list(times.values())
+        assert all(a >= b - 1e-15 for a, b in zip(values, values[1:]))
+
+
+class TestValidation:
+    def test_rejects_zero_cores(self):
+        graph = graph_from_costs([("a", [1.0])])
+        with pytest.raises(ValueError):
+            greedy_schedule(graph, IDEAL, 0)
+
+    def test_rejects_oversubscription(self):
+        graph = graph_from_costs([("a", [1.0])])
+        with pytest.raises(ValueError, match="has 64 cores"):
+            greedy_schedule(graph, IDEAL, 65)
+
+    def test_empty_graph(self):
+        assert greedy_schedule(TaskGraph(), IDEAL, 4).seconds == 0.0
+
+
+class TestPhaseAccounting:
+    def test_phase_seconds_sum_to_total(self):
+        graph = graph_from_costs([("a", [1e6] * 4), ("b", [2e6] * 4)])
+        result = greedy_schedule(graph, GRAVITON3, 8)
+        assert sum(result.phase_seconds.values()) == pytest.approx(
+            result.seconds
+        )
+
+    def test_repeated_phase_names_accumulate(self):
+        graph = graph_from_costs([("x", [1e6]), ("x", [1e6])])
+        result = greedy_schedule(graph, GRAVITON3, 1)
+        assert set(result.phase_seconds) == {"x"}
+
+
+class TestWorkStealing:
+    def test_reproducible_with_seed(self):
+        graph = graph_from_costs([("a", [1e6] * 50)])
+        a = work_stealing_schedule(graph, GOLD_6238R, 28, seed=7).seconds
+        b = work_stealing_schedule(graph, GOLD_6238R, 28, seed=7).seconds
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        graph = graph_from_costs([("a", [1e6] * 50)])
+        times = {
+            work_stealing_schedule(graph, GOLD_6238R, 28, seed=s).seconds
+            for s in range(10)
+        }
+        assert len(times) > 1
+
+    def test_variation_grows_with_cores(self):
+        """The Fig 5 property: multicore spread exceeds 1-core spread."""
+        graph = graph_from_costs([("a", [1e6] * 200)])
+
+        def spread(p):
+            times = np.array(
+                [
+                    work_stealing_schedule(
+                        graph, GOLD_6238R, p, seed=s
+                    ).seconds
+                    for s in range(40)
+                ]
+            )
+            return float(np.std(times) / np.median(times))
+
+        assert spread(28) > 2 * spread(1)
+
+    def test_stays_near_greedy(self):
+        graph = graph_from_costs([("a", [1e6] * 100)])
+        det = greedy_schedule(graph, GOLD_6238R, 28).seconds
+        noisy = work_stealing_schedule(graph, GOLD_6238R, 28, seed=1).seconds
+        assert 0.7 * det < noisy < 1.4 * det
+
+    def test_accepts_generator(self):
+        graph = graph_from_costs([("a", [1e6] * 10)])
+        rng = np.random.default_rng(3)
+        out = work_stealing_schedule(graph, GOLD_6238R, 4, seed=rng)
+        assert out.seconds > 0

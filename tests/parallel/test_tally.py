@@ -1,0 +1,92 @@
+"""Tests for the cost-accounting substrate."""
+
+import threading
+
+import numpy as np
+
+from repro.linalg.householder import QRFactor
+from repro.parallel.tally import (
+    CostTally,
+    active_tally,
+    add_cost,
+    measure_flops,
+    tally_scope,
+)
+
+
+class TestCostTally:
+    def test_add(self):
+        t = CostTally()
+        t.add(10.0, 5.0)
+        t.add(2.0)
+        assert t.flops == 12.0
+        assert t.bytes_moved == 5.0
+        assert t.kernel_calls == 2
+
+    def test_merge(self):
+        a, b = CostTally(1.0, 2.0, 3), CostTally(10.0, 20.0, 30)
+        a.merge(b)
+        assert (a.flops, a.bytes_moved, a.kernel_calls) == (11.0, 22.0, 33)
+
+    def test_snapshot_is_independent(self):
+        t = CostTally(1.0)
+        s = t.snapshot()
+        t.add(5.0)
+        assert s.flops == 1.0
+
+    def test_bool(self):
+        assert not CostTally()
+        assert CostTally(kernel_calls=1)
+
+
+class TestScopes:
+    def test_no_active_tally_by_default(self):
+        assert active_tally() is None
+        add_cost(100.0)  # must be a silent no-op
+
+    def test_scope_captures(self):
+        with tally_scope() as t:
+            add_cost(7.0, 3.0)
+        assert t.flops == 7.0
+        assert active_tally() is None
+
+    def test_nested_scopes_both_capture(self):
+        with tally_scope() as outer:
+            add_cost(1.0)
+            with tally_scope() as inner:
+                add_cost(10.0)
+            add_cost(100.0)
+        assert inner.flops == 10.0
+        assert outer.flops == 111.0
+
+    def test_thread_locality(self):
+        """A tally on one thread must not capture another thread's work."""
+        results = {}
+
+        def worker():
+            with tally_scope() as t:
+                add_cost(5.0)
+            results["worker"] = t.flops
+
+        with tally_scope() as main_tally:
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert results["worker"] == 5.0
+        assert main_tally.flops == 0.0
+
+
+class TestMeasureFlops:
+    def test_returns_result_and_tally(self):
+        a = np.random.default_rng(0).standard_normal((8, 4))
+        qf, tally = measure_flops(QRFactor, a)
+        assert qf.r.shape == (4, 4)
+        assert tally.flops > 0
+        assert tally.kernel_calls == 1
+
+    def test_kernel_costs_match_formula(self):
+        from repro.linalg.flops import qr_flops
+
+        a = np.random.default_rng(1).standard_normal((10, 6))
+        _qf, tally = measure_flops(QRFactor, a)
+        assert tally.flops == qr_flops(10, 6)

@@ -1,0 +1,67 @@
+"""Tests for task-graph work/span bookkeeping."""
+
+import pytest
+
+from repro.parallel.task_graph import PhaseRecord, TaskGraph, TaskRecord
+
+
+def make_graph():
+    g = TaskGraph()
+    a = g.new_phase("a")
+    a.tasks = [TaskRecord(flops=3.0), TaskRecord(flops=5.0)]
+    b = g.new_phase("b", kind="serial")
+    b.tasks = [TaskRecord(flops=2.0), TaskRecord(flops=2.0)]
+    return g
+
+
+class TestAggregates:
+    def test_work(self):
+        assert make_graph().work_flops == 12.0
+
+    def test_span_parallel_phase_uses_max(self):
+        g = make_graph()
+        # parallel phase contributes max (5), serial contributes sum (4)
+        assert g.span_flops == 9.0
+
+    def test_parallelism(self):
+        g = make_graph()
+        assert g.parallelism() == pytest.approx(12.0 / 9.0)
+
+    def test_empty_graph(self):
+        g = TaskGraph()
+        assert g.work_flops == 0.0
+        assert g.span_flops == 0.0
+        assert g.parallelism() == 1.0
+
+    def test_n_tasks(self):
+        assert make_graph().n_tasks == 4
+
+    def test_bytes(self):
+        g = TaskGraph()
+        p = g.new_phase("x")
+        p.tasks = [TaskRecord(bytes_moved=7.0)]
+        assert g.bytes_moved == 7.0
+
+
+class TestRecords:
+    def test_task_merge(self):
+        a = TaskRecord(flops=1.0, bytes_moved=2.0, kernel_calls=1, items=1)
+        a.merge(TaskRecord(flops=9.0, bytes_moved=8.0, kernel_calls=2, items=3))
+        assert a.flops == 10.0 and a.items == 4
+
+    def test_phase_properties(self):
+        p = PhaseRecord(name="x")
+        p.tasks = [TaskRecord(flops=1.0, items=2), TaskRecord(flops=3.0, items=1)]
+        assert p.flops == 4.0
+        assert p.max_task_flops == 3.0
+        assert p.items == 3
+
+    def test_empty_phase_max(self):
+        assert PhaseRecord(name="e").max_task_flops == 0.0
+
+
+class TestSummary:
+    def test_summary_mentions_phases(self):
+        text = make_graph().summary()
+        assert "a" in text and "b" in text
+        assert "total work" in text
