@@ -16,6 +16,7 @@ Quickstart::
     print(result.means[0], result.covariances[0])
 """
 
+from .batch import BatchSmoother
 from .core import (
     NormalEquationsSmoother,
     OddEvenR,
@@ -69,6 +70,7 @@ ALL_SMOOTHERS = {
 }
 
 __all__ = [
+    "BatchSmoother",
     "NormalEquationsSmoother",
     "OddEvenR",
     "OddEvenSmoother",

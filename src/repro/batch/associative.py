@@ -1,0 +1,127 @@
+"""Batched associative smoothing: one scan over a stack of sequences.
+
+Temporal Parallelization of Bayesian Smoothers (Särkkä &
+García-Fernández, ref. [3]) combines per-step scan elements with pure
+matrix algebra; since :mod:`repro.kalman.associative` expresses every
+element operation against the trailing axes only, a ``(B, ...)`` stack
+of elements rides through the *same* ``make``/``combine`` functions and
+the same :func:`repro.parallel.prefix.scan`.  This module supplies the
+stacking shim: reduce each problem to standard form, stack the
+per-step quantities on the leading batch axis, run the two scans once,
+and unstack the smoothed moments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..kalman.associative import (
+    combine_filtering,
+    combine_smoothing,
+    make_filtering_element,
+    make_smoothing_element,
+)
+from ..kalman.standard_form import StandardStep, to_standard_form
+from ..model.problem import StateSpaceProblem
+from ..parallel.backend import Backend, SerialBackend
+from ..parallel.prefix import scan
+
+__all__ = ["stack_standard_form", "batched_associative_smooth"]
+
+
+def stack_standard_form(
+    problems: list[StateSpaceProblem],
+) -> tuple[np.ndarray, np.ndarray, list[StandardStep]]:
+    """Stack the standard forms of structurally-identical problems.
+
+    Returns ``(m0, p0, steps)`` where ``m0`` is ``(B, n)``, ``p0`` is
+    ``(B, n, n)`` and every step's matrices carry the leading batch
+    axis.  Raises the usual standard-form errors (missing prior,
+    rectangular ``H``) per problem.
+    """
+    if not problems:
+        raise ValueError("cannot stack an empty problem list")
+    forms = [
+        to_standard_form(p, "the batched associative smoother")
+        for p in problems
+    ]
+    n_steps = len(forms[0][2])
+    for _m0, _p0, steps in forms[1:]:
+        if len(steps) != n_steps:
+            raise ValueError(
+                "problems in one stack must have equal state counts; "
+                "run bucket_problems first"
+            )
+    m0 = np.stack([f[0] for f in forms])
+    p0 = np.stack([f[1] for f in forms])
+    steps: list[StandardStep] = []
+    for i in range(n_steps):
+        slices = [f[2][i] for f in forms]
+        first = slices[0]
+        if any(s.has_observation != first.has_observation for s in slices):
+            raise ValueError(
+                f"step {i} observation presence differs across the "
+                "stack; run bucket_problems first"
+            )
+        std = StandardStep(n=first.n)
+        if first.F is not None:
+            std.F = np.stack([s.F for s in slices])
+            std.c = np.stack([s.c for s in slices])
+            std.Q = np.stack([s.Q for s in slices])
+        if first.has_observation:
+            std.G = np.stack([s.G for s in slices])
+            std.o = np.stack([s.o for s in slices])
+            std.R = np.stack([s.R for s in slices])
+        steps.append(std)
+    return m0, p0, steps
+
+
+def batched_associative_smooth(
+    problems: list[StateSpaceProblem],
+    backend: Backend | None = None,
+    parallel: bool = True,
+) -> tuple[list[np.ndarray], list[np.ndarray]]:
+    """Smooth a stack of sequences with two batched associative scans.
+
+    Returns ``(means, covariances)`` where entry ``i`` is the ``(B,
+    n)`` / ``(B, n, n)`` stack for state ``i`` — the same layout the
+    batched odd-even path produces.
+    """
+    if backend is None:
+        backend = SerialBackend()
+    m0, p0, steps = stack_standard_form(problems)
+    k = len(steps) - 1
+
+    elements = backend.map(
+        range(k + 1),
+        lambda i: make_filtering_element(
+            steps[i], first=(i == 0), m0=m0, p0=p0
+        ),
+        phase="batch/associative/filter-elements",
+    )
+    filtered = scan(
+        elements,
+        combine_filtering,
+        backend,
+        parallel=parallel,
+        phase="batch/associative/filter-scan",
+    )
+
+    smoothing_elements = backend.map(
+        range(k + 1),
+        lambda i: make_smoothing_element(
+            filtered[i].b,
+            filtered[i].c,
+            steps[i + 1] if i < k else None,
+        ),
+        phase="batch/associative/smooth-elements",
+    )
+    smoothed = scan(
+        smoothing_elements,
+        combine_smoothing,
+        backend,
+        parallel=parallel,
+        reverse=True,
+        phase="batch/associative/smooth-scan",
+    )
+    return [s.g for s in smoothed], [s.ell for s in smoothed]

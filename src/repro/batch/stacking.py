@@ -1,0 +1,317 @@
+"""Padding, bucketing and stacking of independent problems.
+
+The batched eliminations need every sequence in a stack to share one
+block structure: the same number of states, the same per-state
+dimensions, and the same observation/evolution row counts at every
+step.  This module turns an arbitrary mixed workload into such stacks:
+
+1. :func:`pad_problem` appends *unobserved* identity-evolution steps to
+   bring a sequence up to a target length.  The padding is exact: the
+   appended whitened rows ``[-I  I] [u_k; u_{k+1}] = 0`` are exactly
+   satisfiable by ``u_{k+1} = u_k``, so they contribute nothing to the
+   least-squares residual and — because the new unknowns appear in no
+   other row — the Schur complement onto the original unknowns is
+   untouched.  Original means, covariances, and the residual are
+   mathematically unchanged.
+2. :func:`padded_length` buckets lengths to powers of two so a mixed
+   stream of lengths produces a handful of buckets instead of one per
+   distinct length (at most 2x padding overhead).
+3. :func:`bucket_problems` groups padded problems by their
+   :func:`structure_signature`; each group can be stacked.
+4. :func:`stack_whitened` whitens each problem of a group and stacks
+   the whitened blocks on the leading batch axis (the convention in
+   :mod:`repro.batch`), yielding the batched
+   :class:`~repro.model.problem.WhitenedProblem` the odd-even
+   factorization consumes directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.linalg import block_diag
+
+from ..linalg.cholesky import Whitener, stack_whiten
+from ..model.problem import (
+    StateSpaceProblem,
+    WhitenedProblem,
+    WhitenedStep,
+)
+from ..model.steps import Evolution, Step
+
+__all__ = [
+    "Bucket",
+    "bucket_problems",
+    "pad_problem",
+    "padded_length",
+    "stack_whitened",
+    "structure_signature",
+]
+
+
+def structure_signature(
+    problem: StateSpaceProblem, obs_rows: bool = False
+) -> tuple:
+    """Hashable per-step block-shape summary of a problem.
+
+    Two problems with equal signatures can be stacked: state dimensions
+    and evolution row counts must match exactly, while observation row
+    counts may differ — a short observation block is zero-padded to the
+    stack's per-step maximum (a ``0 · u = 0`` row is exactly
+    satisfiable, so it changes neither the estimates nor the residual).
+    That flexibility is what lets sequences of different lengths (whose
+    padded tails are unobserved) and sequences with missing
+    observations share one bucket.  Pass ``obs_rows=True`` to include
+    the observation row counts (with the prior folded into step 0,
+    exactly as :meth:`StateSpaceProblem.whiten` folds it) for an exact
+    shape fingerprint.
+    """
+    sig = []
+    for i, step in enumerate(problem.steps):
+        evo_rows = 0 if step.evolution is None else step.evolution.rows
+        entry: tuple = (step.state_dim, evo_rows)
+        if obs_rows:
+            rows = step.obs_dim
+            if i == 0 and problem.prior is not None:
+                rows += problem.prior.dim
+            entry += (rows,)
+        sig.append(entry)
+    return tuple(sig)
+
+
+def padded_length(n_states: int) -> int:
+    """The bucketed target length: next power of two >= ``n_states``."""
+    if n_states < 1:
+        raise ValueError(f"n_states must be >= 1, got {n_states}")
+    out = 1
+    while out < n_states:
+        out *= 2
+    return out
+
+
+def pad_problem(
+    problem: StateSpaceProblem, n_states_target: int
+) -> StateSpaceProblem:
+    """Append unobserved identity-evolution steps up to the target length.
+
+    Each appended step carries ``u_{i} = I u_{i-1}`` with unit noise
+    covariance and no observation; the smoothed estimates of the
+    original states (and the residual) are unchanged, and the padded
+    states simply replicate the last original state's estimate.
+    """
+    have = problem.n_states
+    if n_states_target < have:
+        raise ValueError(
+            f"cannot pad a {have}-state problem down to {n_states_target}"
+        )
+    if n_states_target == have:
+        return problem
+    n_last = problem.steps[-1].state_dim
+    extra = [
+        Step(state_dim=n_last, evolution=Evolution(F=np.eye(n_last)))
+        for _ in range(n_states_target - have)
+    ]
+    return StateSpaceProblem(
+        list(problem.steps) + extra, prior=problem.prior
+    )
+
+
+@dataclass
+class Bucket:
+    """One stackable group of (padded) problems.
+
+    ``indices[b]`` is the position of slice ``b`` in the caller's
+    original problem list; ``n_states_orig[b]`` is how many leading
+    states of the padded result are real (the rest are padding and get
+    trimmed when unpacking).  ``signature`` is the grouping key (the
+    power-of-two *length-bucket* signature); the stored problems are
+    padded only to the bucket's longest member, which may be shorter.
+    """
+
+    signature: tuple
+    indices: list[int]
+    problems: list[StateSpaceProblem]
+    n_states_orig: list[int]
+
+    @property
+    def batch(self) -> int:
+        return len(self.problems)
+
+    @property
+    def n_states(self) -> int:
+        """Actual (padded) state count of the stacked problems."""
+        return self.problems[0].n_states
+
+
+def bucket_problems(
+    problems: list[StateSpaceProblem],
+    pad: bool = True,
+    exact_obs: bool = False,
+) -> list[Bucket]:
+    """Group problems into stackable buckets (insertion-ordered).
+
+    With ``pad=True`` (the default) problems are *grouped* by the
+    signature they would have when padded to the power-of-two length
+    bucket of their state count, which merges heterogeneous lengths
+    into shared buckets whenever their per-step structure allows it —
+    but each group is then padded only to its own longest member, so a
+    uniform-length workload (or a singleton) pays no padding overhead
+    at all.  Observation row counts need not match within a bucket
+    (short blocks are zero-padded when stacking) unless
+    ``exact_obs=True`` — the associative method stacks raw standard
+    forms and needs identical observation shapes.  Problems whose
+    structure still differs fall into their own (possibly singleton)
+    buckets — batching is a throughput optimization, never a
+    functional restriction.
+    """
+    groups: dict[tuple, list[int]] = {}
+    for idx, problem in enumerate(problems):
+        sig = structure_signature(problem, obs_rows=exact_obs)
+        if pad:
+            # Signature the problem would have after padding to its
+            # power-of-two length bucket (each padding step adds one
+            # unobserved identity evolution of the last state's dim).
+            n_last = problem.steps[-1].state_dim
+            entry = (n_last, n_last, 0) if exact_obs else (n_last, n_last)
+            sig = sig + (entry,) * (
+                padded_length(problem.n_states) - problem.n_states
+            )
+        groups.setdefault(sig, []).append(idx)
+    buckets = []
+    for sig, indices in groups.items():
+        lengths = [problems[i].n_states for i in indices]
+        target = max(lengths) if pad else lengths[0]
+        buckets.append(
+            Bucket(
+                signature=sig,
+                indices=indices,
+                problems=[
+                    pad_problem(problems[i], target) for i in indices
+                ],
+                n_states_orig=lengths,
+            )
+        )
+    return buckets
+
+
+def _row_whitener(pieces: list[Whitener], pad_rows: int = 0) -> Whitener:
+    """One whitener covering stacked row blocks (block-diagonal factor).
+
+    ``pad_rows`` extra unit-covariance rows cover the zero-padding that
+    aligns observation row counts across a stack (zero rows whiten to
+    zero rows under any unit factor).
+    """
+    if pad_rows:
+        pieces = pieces + [Whitener.identity(pad_rows)]
+    if len(pieces) == 1:
+        return pieces[0]
+    rows = sum(w.dim for w in pieces)
+    if all(w.is_unit for w in pieces):
+        return Whitener.identity(rows)
+    return Whitener(
+        block_diag(*[w.factor_matrix() for w in pieces]),
+        kind="factor",
+        what="stacked row covariance",
+    )
+
+
+def stack_whitened(problems: list[StateSpaceProblem]) -> WhitenedProblem:
+    """Whiten and stack all problems on a leading batch axis — batched.
+
+    All problems must share one :func:`structure_signature` (callers go
+    through :func:`bucket_problems`).  The result is a
+    :class:`WhitenedProblem` whose steps hold ``(B, rows, cols)`` blocks
+    and ``(B, rows)`` right-hand sides — the batched input form of
+    :func:`repro.core.oddeven_qr.oddeven_factorize`.
+
+    Unlike ``B`` separate :meth:`StateSpaceProblem.whiten` calls (which
+    would dominate the batched smoother's runtime with thousands of
+    tiny triangular solves), this stacks the *raw* blocks first and
+    whitens each step's observation and evolution rows with one
+    batched solve across the whole stack
+    (:func:`repro.linalg.cholesky.stack_whiten`); slice ``b`` equals
+    ``problems[b].whiten()`` to roundoff.
+    """
+    if not problems:
+        raise ValueError("cannot stack an empty problem list")
+    sigs = {structure_signature(p) for p in problems}
+    if len(sigs) != 1:
+        raise ValueError(
+            "problems in one stack must share a structure signature; "
+            "run bucket_problems first"
+        )
+    batch = len(problems)
+    steps: list[WhitenedStep] = []
+    for i in range(problems[0].n_states):
+        step0 = problems[0].steps[i]
+        n = step0.state_dim
+        # ---- observation rows (prior folded into step 0) ----
+        # Row counts may differ across the stack; shorter blocks are
+        # zero-padded to the per-step maximum, which is exact (a zero
+        # row constrains nothing and contributes no residual).
+        obs_pieces: list[list] = []
+        for p in problems:
+            pieces = []
+            if i == 0 and p.prior is not None:
+                pieces.append(p.prior.as_observation())
+            if p.steps[i].observation is not None:
+                pieces.append(p.steps[i].observation)
+            obs_pieces.append(pieces)
+        row_counts = [
+            sum(ob.rows for ob in pieces) for pieces in obs_pieces
+        ]
+        max_rows = max(row_counts)
+        if max_rows:
+            raws = np.zeros((batch, max_rows, n + 1))
+            whiteners: list[Whitener] = []
+            for b, pieces in enumerate(obs_pieces):
+                if pieces:
+                    raws[b, : row_counts[b]] = np.concatenate(
+                        [
+                            np.concatenate([ob.G, ob.o[:, None]], axis=1)
+                            for ob in pieces
+                        ],
+                        axis=0,
+                    )
+                whiteners.append(
+                    _row_whitener(
+                        [ob.L for ob in pieces],
+                        pad_rows=max_rows - row_counts[b],
+                    )
+                )
+            white = stack_whiten(whiteners, raws)
+            step = WhitenedStep(
+                index=i, n=n, C=white[..., :n], rhs_C=white[..., n]
+            )
+        else:
+            step = WhitenedStep(
+                index=i,
+                n=n,
+                C=np.zeros((batch, 0, n)),
+                rhs_C=np.zeros((batch, 0)),
+            )
+        # ---- evolution rows ----
+        if i > 0:
+            n_prev = step0.evolution.prev_dim
+            raw_evo = np.stack(
+                [
+                    np.concatenate(
+                        [
+                            p.steps[i].evolution.F,
+                            p.steps[i].evolution.H,
+                            p.steps[i].evolution.c[:, None],
+                        ],
+                        axis=1,
+                    )
+                    for p in problems
+                ]
+            )
+            white_evo = stack_whiten(
+                [p.steps[i].evolution.K for p in problems], raw_evo
+            )
+            step.B = white_evo[..., :n_prev]
+            step.D = white_evo[..., n_prev : n_prev + n]
+            step.rhs_BD = white_evo[..., -1]
+        steps.append(step)
+    return WhitenedProblem(steps=steps)

@@ -1,5 +1,6 @@
 """Benchmark harness: workloads, figure regenerators, micro-benchmark."""
 
+from .batch import batch_throughput
 from .figures import (
     fig1_structure,
     fig2_running_times,
@@ -21,6 +22,7 @@ from .microbench import PHASES, microbench_speedups, run_microbench
 from .workloads import SMOKE_WORKLOADS, WORKLOADS, Workload, core_counts_for
 
 __all__ = [
+    "batch_throughput",
     "fig1_structure",
     "fig2_running_times",
     "fig3_speedups",

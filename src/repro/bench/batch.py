@@ -1,0 +1,147 @@
+"""Throughput benchmark for the batched smoothing subsystem.
+
+Measures sequences/second of :class:`repro.batch.BatchSmoother` against
+the per-sequence :class:`repro.core.smoother.OddEvenSmoother` loop over
+the same workload, sweeping the batch size.  The per-sequence loop pays
+Python and LAPACK call overhead for every tiny block QR; the batched
+path collapses each recursion level's blocks across all ``B``
+sequences into stacked kernels, so throughput should grow with the
+batch size until the kernels are large enough to amortize the
+overheads.
+
+Run as a module for the table + JSON artifact::
+
+    PYTHONPATH=src python -m repro.bench.batch            # full sweep
+    PYTHONPATH=src python -m repro.bench.batch --quick    # CI smoke
+
+Results are persisted to ``results/batch_throughput.json``.
+"""
+
+from __future__ import annotations
+
+from ..batch import BatchSmoother
+from ..core.smoother import OddEvenSmoother
+from ..model.generators import random_problem
+from .harness import ascii_curve, format_series_table, median_time, save_results
+
+__all__ = ["batch_throughput", "main"]
+
+DEFAULT_BATCH_SIZES = (1, 4, 16, 64, 256)
+
+
+def _workload(batch: int, k: int, n: int, seed: int = 0):
+    """``batch`` independent random problems of ``k + 1`` states each."""
+    return [
+        random_problem(k=k, seed=seed + i, dims=n, random_cov=True)
+        for i in range(batch)
+    ]
+
+
+def batch_throughput(
+    batch_sizes=DEFAULT_BATCH_SIZES,
+    k: int = 63,
+    n: int = 4,
+    repeats: int = 5,
+    compute_covariance: bool = True,
+    result_name: str = "batch_throughput",
+) -> dict:
+    """Sequences/sec of the batched vs the per-sequence smoother.
+
+    Returns (and persists) a record with, per batch size, the median
+    wall-clock seconds and derived sequences/sec of both paths plus
+    their ratio (``speedup``).
+    """
+    per_seq = OddEvenSmoother(compute_covariance=compute_covariance)
+    batched = BatchSmoother(compute_covariance=compute_covariance)
+    rows = []
+    for batch in batch_sizes:
+        problems = _workload(batch, k, n)
+
+        def loop_all():
+            for p in problems:
+                per_seq.smooth(p)
+
+        def batch_all():
+            batched.smooth_many(problems)
+
+        t_loop = median_time(loop_all, repeats=repeats)
+        t_batch = median_time(batch_all, repeats=repeats)
+        rows.append(
+            {
+                "batch": batch,
+                "loop_seconds": t_loop,
+                "batch_seconds": t_batch,
+                "loop_seq_per_sec": batch / t_loop,
+                "batch_seq_per_sec": batch / t_batch,
+                "speedup": t_loop / t_batch,
+            }
+        )
+    record = {
+        "workload": {
+            "k": k,
+            "n": n,
+            "repeats": repeats,
+            "compute_covariance": compute_covariance,
+        },
+        "rows": rows,
+    }
+    save_results(result_name, record)
+    return record
+
+
+def main(argv: list[str] | None = None) -> None:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Batched smoothing throughput benchmark"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="tiny sweep for CI smoke runs",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        record = batch_throughput(
+            batch_sizes=(1, 8),
+            k=15,
+            n=3,
+            repeats=2,
+            result_name="batch_throughput_quick",
+        )
+    else:
+        record = batch_throughput()
+    xs = [r["batch"] for r in record["rows"]]
+    print(
+        format_series_table(
+            "Batched smoothing throughput "
+            f"(k={record['workload']['k']}, n={record['workload']['n']})",
+            "batch",
+            xs,
+            {
+                "per-seq loop (seq/s)": {
+                    r["batch"]: r["loop_seq_per_sec"]
+                    for r in record["rows"]
+                },
+                "BatchSmoother (seq/s)": {
+                    r["batch"]: r["batch_seq_per_sec"]
+                    for r in record["rows"]
+                },
+                "speedup": {
+                    r["batch"]: r["speedup"] for r in record["rows"]
+                },
+            },
+            unit="seq/s (speedup unitless)",
+        )
+    )
+    print()
+    print(
+        ascii_curve(
+            {r["batch"]: r["speedup"] for r in record["rows"]},
+            label="speedup vs per-sequence loop",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -23,8 +23,13 @@ __all__ = [
 ]
 
 
-def median_time(fn, repeats: int = 5, *args, **kwargs) -> float:
-    """Median wall-clock seconds of ``repeats`` runs (paper §5.4)."""
+def median_time(fn, *args, repeats: int = 5, **kwargs) -> float:
+    """Median wall-clock seconds of ``repeats`` runs (paper §5.4).
+
+    ``repeats`` is keyword-only: with the old ``(fn, repeats, *args)``
+    order, the first positional argument intended for ``fn`` silently
+    became the repeat count.
+    """
     times = []
     for _ in range(repeats):
         t0 = time.perf_counter()

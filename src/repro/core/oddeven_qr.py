@@ -25,6 +25,20 @@ coefficients become identically zero contribute their squared RHS to
 the least-squares residual.  Work is ``Theta(k n^3)`` and the critical
 path ``Theta(log k * n log n)`` (paper §3.3); every stage is a
 ``parallel_for`` over disjoint block-row pairs.
+
+Batching
+--------
+Every stage is written against the *last two* axes of its blocks, so
+the same code eliminates one sequence (2-D blocks, RHS vectors of
+shape ``(rows,)``) or a stack of ``B`` independent sequences with
+identical block structure (3-D ``(B, rows, cols)`` blocks, RHS arrays
+of shape ``(B, rows)``).  :func:`~repro.linalg.householder.qr_factor`
+dispatches each pivot factorization to the scalar LAPACK path or the
+batched stacked-QR kernel accordingly, which is how
+:class:`repro.batch.BatchSmoother` collapses thousands of tiny QRs per
+level into a few large stacked calls.  In the batched case the
+accumulated ``residual_sq`` is a ``(B,)`` array (one residual per
+sequence).
 """
 
 from __future__ import annotations
@@ -33,12 +47,37 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..linalg.householder import QRFactor
+from ..linalg.householder import qr_factor
 from ..model.problem import StateSpaceProblem, WhitenedProblem
 from ..parallel.backend import Backend, SerialBackend
 from .rfactor import OddEvenR, RBlockRow
 
 __all__ = ["oddeven_factorize", "OddEvenLevelStats"]
+
+
+def _vcat(*blocks: np.ndarray) -> np.ndarray:
+    """Stack row blocks along the row (second-to-last) axis."""
+    return np.concatenate(blocks, axis=-2)
+
+
+def _zeros_rows(template: np.ndarray, rows: int, cols: int) -> np.ndarray:
+    """A zero block of ``rows x cols`` sharing ``template``'s batch shape."""
+    return np.zeros(template.shape[:-2] + (rows, cols))
+
+
+def _with_rhs(mat: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Append the RHS as one extra column of ``mat``."""
+    return np.concatenate([mat, rhs[..., None]], axis=-1)
+
+
+def _cat_rhs(*parts: np.ndarray) -> np.ndarray:
+    """Concatenate RHS pieces along their row (last) axis."""
+    return np.concatenate(parts, axis=-1)
+
+
+def _sumsq(x: np.ndarray):
+    """Squared norm over the row axis: a float, or ``(B,)`` when batched."""
+    return np.sum(x * x, axis=-1)
 
 
 @dataclass
@@ -55,16 +94,18 @@ class _EvoRows:
     rhs: np.ndarray
 
     @classmethod
-    def empty(cls, n_left: int, n_right: int) -> "_EvoRows":
+    def empty(
+        cls, n_left: int, n_right: int, batch_shape: tuple = ()
+    ) -> "_EvoRows":
         return cls(
-            nb=np.zeros((0, n_left)),
-            d=np.zeros((0, n_right)),
-            rhs=np.zeros(0),
+            nb=np.zeros(batch_shape + (0, n_left)),
+            d=np.zeros(batch_shape + (0, n_right)),
+            rhs=np.zeros(batch_shape + (0,)),
         )
 
     @property
     def rows(self) -> int:
-        return self.nb.shape[0]
+        return self.nb.shape[-2]
 
 
 @dataclass
@@ -84,7 +125,7 @@ class _StageA:
     x: np.ndarray | None
     dtil: np.ndarray | None
     dtil_rhs: np.ndarray | None
-    residual_sq: float
+    residual_sq: "float | np.ndarray"
 
 
 @dataclass
@@ -109,31 +150,36 @@ def _stage_a(col: _Column, evo_next: _EvoRows | None) -> _StageA:
     n = col.n
     if evo_next is None:
         # Last even column: only its observation rows participate.
-        rows = col.c.shape[0]
+        rows = col.c.shape[-2]
         if rows == 0:
             return _StageA(
-                np.zeros((0, n)), np.zeros(0), None, None, None, 0.0
+                _zeros_rows(col.c, 0, n),
+                col.rhs_c[..., :0],
+                None,
+                None,
+                None,
+                0.0,
             )
-        qf = QRFactor(col.c)
+        qf = qr_factor(col.c)
         qtr = qf.apply_qt(col.rhs_c)
         ncap = min(n, rows)
-        resid = float(qtr[ncap:] @ qtr[ncap:])
-        return _StageA(qf.r, qtr[:ncap], None, None, None, resid)
-    n_right = evo_next.d.shape[1]
-    pivot = np.vstack([col.c, evo_next.nb])
-    coupled = np.vstack(
-        [np.zeros((col.c.shape[0], n_right)), evo_next.d]
+        resid = _sumsq(qtr[..., ncap:])
+        return _StageA(qf.r, qtr[..., :ncap], None, None, None, resid)
+    n_right = evo_next.d.shape[-1]
+    pivot = _vcat(col.c, evo_next.nb)
+    coupled = _vcat(
+        _zeros_rows(col.c, col.c.shape[-2], n_right), evo_next.d
     )
-    rhs = np.concatenate([col.rhs_c, evo_next.rhs])
-    qf = QRFactor(pivot)
-    applied = qf.apply_qt(np.column_stack([coupled, rhs]))
-    ncap = min(n, pivot.shape[0])
+    rhs = _cat_rhs(col.rhs_c, evo_next.rhs)
+    qf = qr_factor(pivot)
+    applied = qf.apply_qt(_with_rhs(coupled, rhs))
+    ncap = min(n, pivot.shape[-2])
     return _StageA(
         rtil=qf.r,
-        rhs=applied[:ncap, -1],
-        x=applied[:ncap, :n_right],
-        dtil=applied[ncap:, :n_right],
-        dtil_rhs=applied[ncap:, -1],
+        rhs=applied[..., :ncap, -1],
+        x=applied[..., :ncap, :n_right],
+        dtil=applied[..., ncap:, :n_right],
+        dtil_rhs=applied[..., ncap:, -1],
         residual_sq=0.0,
     )
 
@@ -161,39 +207,41 @@ def _stage_b(
 
     assert left is not None
     n_left = left.n
-    d_rows = evo_here.d.shape[0]
-    rt_rows = sa.rtil.shape[0]
-    pivot = np.vstack([evo_here.d, sa.rtil])
-    coupled_left = np.vstack([evo_here.nb, np.zeros((rt_rows, n_left))])
+    d_rows = evo_here.d.shape[-2]
+    rt_rows = sa.rtil.shape[-2]
+    pivot = _vcat(evo_here.d, sa.rtil)
+    coupled_left = _vcat(evo_here.nb, _zeros_rows(sa.rtil, rt_rows, n_left))
     pieces = [coupled_left]
     if sa.x is not None:
         assert right is not None
-        coupled_right = np.vstack(
-            [np.zeros((d_rows, right.n)), sa.x]
+        coupled_right = _vcat(
+            _zeros_rows(evo_here.d, d_rows, right.n), sa.x
         )
         pieces.append(coupled_right)
-    rhs = np.concatenate([evo_here.rhs, sa.rhs])
-    qf = QRFactor(pivot)
-    applied = qf.apply_qt(np.column_stack(pieces + [rhs]))
-    ncap = min(n, pivot.shape[0])
-    offdiag = [(left.orig, applied[:ncap, :n_left])]
+    rhs = _cat_rhs(evo_here.rhs, sa.rhs)
+    qf = qr_factor(pivot)
+    applied = qf.apply_qt(
+        _with_rhs(np.concatenate(pieces, axis=-1), rhs)
+    )
+    ncap = min(n, pivot.shape[-2])
+    offdiag = [(left.orig, applied[..., :ncap, :n_left])]
     if sa.x is not None:
         offdiag.append(
-            (right.orig, applied[:ncap, n_left : n_left + right.n])
+            (right.orig, applied[..., :ncap, n_left : n_left + right.n])
         )
     row = RBlockRow(
         col=col.orig,
         diag=qf.r,
         offdiag=offdiag,
-        rhs=applied[:ncap, -1],
+        rhs=applied[..., :ncap, -1],
         level=level_idx,
     )
-    bottom_left = applied[ncap:, :n_left]
-    bottom_rhs = applied[ncap:, -1]
+    bottom_left = applied[..., ncap:, :n_left]
+    bottom_rhs = applied[..., ncap:, -1]
     if sa.x is not None:
         new_evo = _EvoRows(
             nb=bottom_left,
-            d=applied[ncap:, n_left : n_left + right.n],
+            d=applied[..., ncap:, n_left : n_left + right.n],
             rhs=bottom_rhs,
         )
         return _StageB(row=row, new_evo=new_evo, extra_obs=None)
@@ -208,34 +256,42 @@ def _stage_c(
     col: _Column,
     dtil: tuple[np.ndarray, np.ndarray] | None,
     extra: tuple[np.ndarray, np.ndarray] | None,
-) -> tuple[_Column, float]:
+) -> tuple[_Column, "float | np.ndarray"]:
     """Compress ``[D~_j; C_j]`` (plus any boundary extras) into ``C~_j``."""
     n = col.n
     pieces: list[np.ndarray] = []
     rhs_pieces: list[np.ndarray] = []
-    if dtil is not None and dtil[0].shape[0] > 0:
+    if dtil is not None and dtil[0].shape[-2] > 0:
         pieces.append(dtil[0])
         rhs_pieces.append(dtil[1])
-    if col.c.shape[0] > 0:
+    if col.c.shape[-2] > 0:
         pieces.append(col.c)
         rhs_pieces.append(col.rhs_c)
-    if extra is not None and extra[0].shape[0] > 0:
+    if extra is not None and extra[0].shape[-2] > 0:
         pieces.append(extra[0])
         rhs_pieces.append(extra[1])
     if not pieces:
-        return _Column(col.orig, n, np.zeros((0, n)), np.zeros(0)), 0.0
-    stacked = np.vstack(pieces)
-    rhs = np.concatenate(rhs_pieces)
-    rows = stacked.shape[0]
+        return (
+            _Column(
+                col.orig,
+                n,
+                _zeros_rows(col.c, 0, n),
+                col.rhs_c[..., :0],
+            ),
+            0.0,
+        )
+    stacked = _vcat(*pieces)
+    rhs = _cat_rhs(*rhs_pieces)
+    rows = stacked.shape[-2]
     if rows <= n:
         # Already within the row-count invariant; QR would only rotate.
-        qf = QRFactor(stacked)
+        qf = qr_factor(stacked)
         qtr = qf.apply_qt(rhs)
         return _Column(col.orig, n, qf.r, qtr), 0.0
-    qf = QRFactor(stacked)
+    qf = qr_factor(stacked)
     qtr = qf.apply_qt(rhs)
-    resid = float(qtr[n:] @ qtr[n:])
-    return _Column(col.orig, n, qf.r, qtr[:n]), resid
+    resid = _sumsq(qtr[..., n:])
+    return _Column(col.orig, n, qf.r, qtr[..., :n]), resid
 
 
 def oddeven_factorize(
@@ -248,7 +304,10 @@ def oddeven_factorize(
     ----------
     problem:
         A :class:`~repro.model.problem.StateSpaceProblem` (whitened
-        internally) or an already-whitened problem.
+        internally) or an already-whitened problem.  A whitened problem
+        whose blocks carry a leading batch axis (``(B, rows, cols)``
+        blocks, ``(B, rows)`` RHS — see :mod:`repro.batch`) factors all
+        ``B`` sequences at once through the stacked-QR kernels.
     backend:
         Execution backend; each stage of each level is one
         ``parallel_for`` over its even (or odd) columns.  Defaults to
@@ -258,7 +317,8 @@ def oddeven_factorize(
     -------
     OddEvenR
         The triangular factor with transformed right-hand side,
-        elimination levels, and the accumulated least-squares residual.
+        elimination levels, and the accumulated least-squares residual
+        (a ``(B,)`` array in the batched case).
     """
     if backend is None:
         backend = SerialBackend()
@@ -271,13 +331,14 @@ def oddeven_factorize(
         _Column(orig=ws.index, n=ws.n, c=ws.C, rhs_c=ws.rhs_C)
         for ws in white.steps
     ]
+    batch_shape = columns[0].c.shape[:-2]
     evos: list[_EvoRows | None] = [None]
     for ws in white.steps[1:]:
         evos.append(_EvoRows(nb=-ws.B, d=ws.D, rhs=ws.rhs_BD))
 
     factor = OddEvenR(dims=[c.n for c in columns])
     level_idx = 0
-    residual = 0.0
+    residual: "float | np.ndarray" = 0.0
 
     while len(columns) > 1:
         kk = len(columns) - 1
@@ -292,7 +353,7 @@ def oddeven_factorize(
             phase=f"oddeven/L{level_idx}/stageA",
         )
         sa_by_pos = dict(zip(evens, sa_results))
-        residual += sum(sa.residual_sq for sa in sa_results)
+        residual = residual + sum(sa.residual_sq for sa in sa_results)
 
         sb_results = backend.map(
             evens,
@@ -333,13 +394,15 @@ def oddeven_factorize(
             factor.rows[row.col] = row
 
         new_columns = [c for c, _resid in sc_results]
-        residual += sum(r for _c, r in sc_results)
+        residual = residual + sum(r for _c, r in sc_results)
         new_evos: list[_EvoRows | None] = [None]
         for t, e in enumerate(evens[1:], start=1):
             evo = sb_by_pos[e].new_evo
             if evo is None and t < len(new_columns):
                 evo = _EvoRows.empty(
-                    new_columns[t - 1].n, new_columns[t].n
+                    new_columns[t - 1].n,
+                    new_columns[t].n,
+                    batch_shape,
                 )
             if t < len(new_columns):
                 new_evos.append(evo)
@@ -352,28 +415,28 @@ def oddeven_factorize(
 
     def _base_task(_i: int):
         n = base.n
-        rows = base.c.shape[0]
+        rows = base.c.shape[-2]
         if rows == 0:
             return (
                 RBlockRow(
                     col=base.orig,
-                    diag=np.zeros((0, n)),
+                    diag=_zeros_rows(base.c, 0, n),
                     offdiag=[],
-                    rhs=np.zeros(0),
+                    rhs=base.rhs_c[..., :0],
                     level=level_idx,
                 ),
                 0.0,
             )
-        qf = QRFactor(base.c)
+        qf = qr_factor(base.c)
         qtr = qf.apply_qt(base.rhs_c)
         ncap = min(n, rows)
-        resid = float(qtr[ncap:] @ qtr[ncap:])
+        resid = _sumsq(qtr[..., ncap:])
         return (
             RBlockRow(
                 col=base.orig,
                 diag=qf.r,
                 offdiag=[],
-                rhs=qtr[:ncap],
+                rhs=qtr[..., :ncap],
                 level=level_idx,
             ),
             resid,
@@ -385,6 +448,8 @@ def oddeven_factorize(
     row, resid = base_results[0]
     factor.rows[row.col] = row
     factor.levels.append([row.col])
-    residual += resid
-    factor.residual_sq = residual
+    residual = residual + resid
+    factor.residual_sq = (
+        float(residual) if np.ndim(residual) == 0 else residual
+    )
     return factor

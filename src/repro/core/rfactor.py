@@ -81,6 +81,11 @@ class RBlockRow:
     eliminated at deeper levels (so the factor is upper triangular in
     elimination order); ``level`` records the recursion level at which
     the row became permanent.
+
+    Blocks are 2-D for a single sequence, or ``(B, rows, cols)`` stacks
+    (with ``(B, rows)`` RHS arrays) when the factor was produced by a
+    batched elimination — every shape query therefore addresses the
+    trailing axes.
     """
 
     col: int
@@ -91,7 +96,12 @@ class RBlockRow:
 
     @property
     def n(self) -> int:
-        return self.diag.shape[1]
+        return self.diag.shape[-1]
+
+    @property
+    def batch_shape(self) -> tuple:
+        """Leading batch axes (empty for a single-sequence factor)."""
+        return self.diag.shape[:-2]
 
     def offdiag_cols(self) -> list[int]:
         return [c for c, _b in self.offdiag]
@@ -152,7 +162,10 @@ class OddEvenR:
                         f"row {col} references column {other} eliminated "
                         "earlier: factor is not upper triangular"
                     )
-                if block.shape != (row.diag.shape[0], self.dims[other]):
+                if block.shape[-2:] != (
+                    row.diag.shape[-2],
+                    self.dims[other],
+                ):
                     raise AssertionError(
                         f"row {col}: off-diagonal block to {other} has shape "
                         f"{block.shape}"

@@ -32,6 +32,7 @@ import numpy as np
 
 from ..linalg.triangular import (
     instrumented_matmul,
+    mat_transpose as _t,
     solve_upper,
     tri_inverse,
 )
@@ -69,7 +70,7 @@ class SelInvResult:
 def _diag_inverse_product(diag: np.ndarray) -> np.ndarray:
     """``R_jj^{-1} R_jj^{-T}`` via one triangular inversion."""
     rinv = tri_inverse(diag)
-    return instrumented_matmul(rinv, rinv.T)
+    return instrumented_matmul(rinv, _t(rinv))
 
 
 def selinv_bidiagonal(factor: BidiagonalR) -> SelInvResult:
@@ -115,7 +116,9 @@ def selinv_oddeven(
 
     Levels are processed deepest-first (the recursion's "odd columns
     first"); within a level, every column is independent and runs under
-    one ``parallel_for``.
+    one ``parallel_for``.  For a batched factor (see
+    :mod:`repro.batch`) every covariance block is a ``(B, n, n)`` stack
+    and the triangular work runs batched over the ``B`` sequences.
     """
     if backend is None:
         backend = SerialBackend()
@@ -126,7 +129,7 @@ def selinv_oddeven(
         """``S_{a,b}`` in (rows=a, cols=b) orientation for any order."""
         if a <= b:
             return cross[(a, b)]
-        return cross[(b, a)].T
+        return _t(cross[(b, a)])
 
     def process(col: int):
         row = factor.rows[col]
@@ -135,12 +138,14 @@ def selinv_oddeven(
         if not row.offdiag:
             return col, base, []
         i_cols = [c for c, _b in row.offdiag]
-        r_ji = np.column_stack([b[: row.n] for _c, b in row.offdiag])
+        r_ji = np.concatenate(
+            [b[..., : row.n, :] for _c, b in row.offdiag], axis=-1
+        )
         nj = solve_upper(diag, r_ji)
         # Assemble S_II from previously-computed deeper-level blocks.
         sizes = [factor.dims[c] for c in i_cols]
         total = sum(sizes)
-        s_ii = np.zeros((total, total))
+        s_ii = np.zeros(row.batch_shape + (total, total))
         offs = np.concatenate([[0], np.cumsum(sizes)])
         for a_idx, a in enumerate(i_cols):
             for b_idx, b in enumerate(i_cols):
@@ -149,14 +154,15 @@ def selinv_oddeven(
                 else:
                     blk = get_cross(a, b)
                 s_ii[
+                    ...,
                     offs[a_idx] : offs[a_idx + 1],
                     offs[b_idx] : offs[b_idx + 1],
                 ] = blk
         s_ji = -instrumented_matmul(nj, s_ii)
-        s_jj = base - instrumented_matmul(s_ji, nj.T)
+        s_jj = base - instrumented_matmul(s_ji, _t(nj))
         crosses = []
         for idx, c in enumerate(i_cols):
-            block = s_ji[:, offs[idx] : offs[idx + 1]]
+            block = s_ji[..., offs[idx] : offs[idx + 1]]
             crosses.append((c, block))
         return col, s_jj, crosses
 
@@ -168,12 +174,12 @@ def selinv_oddeven(
         for col, s_jj, crosses in results:
             # Symmetrize: roundoff accumulates asymmetrically through
             # the two matrix products.
-            diag_s[col] = 0.5 * (s_jj + s_jj.T)
+            diag_s[col] = 0.5 * (s_jj + _t(s_jj))
             for other, block in crosses:
                 if col <= other:
                     cross[(col, other)] = block
                 else:
-                    cross[(other, col)] = block.T
+                    cross[(other, col)] = _t(block)
 
     ordered = [diag_s[i] for i in range(len(factor.dims))]
     return SelInvResult(ordered, cross)

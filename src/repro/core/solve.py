@@ -15,7 +15,7 @@ import numpy as np
 
 from ..linalg.triangular import (
     check_triangular_system,
-    instrumented_matmul,
+    instrumented_matvec,
     solve_upper,
 )
 from ..parallel.backend import Backend, SerialBackend
@@ -32,13 +32,13 @@ def square_diag(row: RBlockRow) -> np.ndarray:
     determine that state (rank deficiency at this column).
     """
     n = row.n
-    if row.diag.shape[0] < n:
+    if row.diag.shape[-2] < n:
         raise np.linalg.LinAlgError(
             f"block column {row.col} is rank deficient: only "
-            f"{row.diag.shape[0]} of {n} pivot rows survive; state "
+            f"{row.diag.shape[-2]} of {n} pivot rows survive; state "
             f"{row.col} is not determined by the problem"
         )
-    diag = row.diag[:n, :]
+    diag = row.diag[..., :n, :]
     check_triangular_system(diag, what=f"R[{row.col},{row.col}]")
     return diag
 
@@ -48,7 +48,9 @@ def oddeven_back_substitute(
 ) -> list[np.ndarray]:
     """Solve for all smoothed states from an odd-even factor.
 
-    Returns the states in natural (original) order.
+    Returns the states in natural (original) order.  For a batched
+    factor (see :mod:`repro.batch`) every state is a ``(B, n)`` stack
+    and every triangular solve runs batched over the ``B`` sequences.
     """
     if backend is None:
         backend = SerialBackend()
@@ -57,10 +59,10 @@ def oddeven_back_substitute(
     def solve_column(col: int) -> tuple[int, np.ndarray]:
         row = factor.rows[col]
         diag = square_diag(row)
-        rhs = row.rhs[: row.n].copy()
+        rhs = row.rhs[..., : row.n].copy()
         for other, block in row.offdiag:
-            contribution = instrumented_matmul(
-                block[: row.n, :], states[other]
+            contribution = instrumented_matvec(
+                block[..., : row.n, :], states[other]
             )
             rhs -= contribution
         return col, solve_upper(diag, rhs)

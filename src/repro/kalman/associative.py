@@ -20,6 +20,14 @@ prior and ``H_i = I`` (square-invertible ``H`` is reduced away), cannot
 skip the covariance computation, but tolerates singular ``K_i``/``L_i``
 — which is why element construction uses plain solves against
 innovation covariances rather than Cholesky whitening of the inputs.
+
+Batching: every element construction and combination below is written
+against the trailing axes only (``(..., n, n)`` matrices, ``(..., n)``
+vectors), so a stack of ``B`` independent sequences rides through the
+very same scan code as one sequence — :mod:`repro.batch` stacks the
+standard-form inputs on a leading batch axis and each combine becomes
+a handful of batched GEMM/``gesv`` calls instead of ``B`` Python-level
+ones.
 """
 
 from __future__ import annotations
@@ -28,7 +36,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..linalg.triangular import instrumented_matmul, instrumented_solve
+from ..linalg.triangular import (
+    batch_count,
+    instrumented_matmul,
+    instrumented_matvec,
+    instrumented_solve,
+    mat_transpose as _t,
+)
 from ..model.problem import StateSpaceProblem
 from ..parallel.tally import add_cost
 from ..parallel.backend import Backend, SerialBackend
@@ -49,7 +63,11 @@ __all__ = [
 
 @dataclass
 class FilteringElement:
-    """The 5-tuple ``(A, b, C, eta, J)`` of ref. [3], Lemma 7."""
+    """The 5-tuple ``(A, b, C, eta, J)`` of ref. [3], Lemma 7.
+
+    Matrices are ``(..., n, n)`` and vectors ``(..., n)``; leading axes,
+    when present, are independent batch sequences.
+    """
 
     a: np.ndarray
     b: np.ndarray
@@ -59,7 +77,7 @@ class FilteringElement:
 
     @property
     def n(self) -> int:
-        return self.b.shape[0]
+        return self.b.shape[-1]
 
 
 @dataclass
@@ -88,47 +106,51 @@ def make_filtering_element(
     n = step.n
     if first:
         assert m0 is not None and p0 is not None
-        a = np.zeros((n, n))
-        eta = np.zeros(n)
-        j = np.zeros((n, n))
+        bshape = m0.shape[:-1]
+        a = np.zeros(bshape + (n, n))
+        eta = np.zeros(bshape + (n,))
+        j = np.zeros(bshape + (n, n))
         if not step.has_observation:
             return FilteringElement(a, m0.copy(), p0.copy(), eta, j)
         g, o, r = step.G, step.o, step.R
-        s = instrumented_matmul(instrumented_matmul(g, p0), g.T) + r
-        gain = instrumented_solve(s, instrumented_matmul(g, p0)).T
-        b = m0 + instrumented_matmul(gain, o - instrumented_matmul(g, m0))
+        s = instrumented_matmul(instrumented_matmul(g, p0), _t(g)) + r
+        gain = _t(instrumented_solve(s, instrumented_matmul(g, p0)))
+        b = m0 + instrumented_matvec(gain, o - instrumented_matvec(g, m0))
         ikg = np.eye(n) - instrumented_matmul(gain, g)
         c = instrumented_matmul(ikg, p0)
-        return FilteringElement(a, b, 0.5 * (c + c.T), eta, j)
+        return FilteringElement(a, b, 0.5 * (c + _t(c)), eta, j)
 
     f, cvec, q = step.F, step.c, step.Q
     if not step.has_observation:
+        bshape = cvec.shape[:-1]
         return FilteringElement(
             f.copy(),
             cvec.copy(),
             q.copy(),
-            np.zeros(n),
-            np.zeros((n, n)),
+            np.zeros(bshape + (n,)),
+            np.zeros(bshape + (n, n)),
         )
     g, o, r = step.G, step.o, step.R
-    s = instrumented_matmul(instrumented_matmul(g, q), g.T) + r
+    s = instrumented_matmul(instrumented_matmul(g, q), _t(g)) + r
     # K = Q G^T S^{-1}  (solve on the right via the transpose).
-    gain = instrumented_solve(s, instrumented_matmul(g, q)).T
+    gain = _t(instrumented_solve(s, instrumented_matmul(g, q)))
     ikg = np.eye(n) - instrumented_matmul(gain, g)
     a = instrumented_matmul(ikg, f)
-    resid = o - instrumented_matmul(g, cvec)
-    b = cvec + instrumented_matmul(gain, resid)
+    resid = o - instrumented_matvec(g, cvec)
+    b = cvec + instrumented_matvec(gain, resid)
     c = instrumented_matmul(ikg, q)
     # eta = F^T G^T S^{-1} resid;  J = F^T G^T S^{-1} G F.
     st_inv_resid = instrumented_solve(s, resid)
     st_inv_g = instrumented_solve(s, g)
     gf = instrumented_matmul(g, f)
-    eta = instrumented_matmul(gf.T, st_inv_resid)
-    j = instrumented_matmul(gf.T, instrumented_matmul(st_inv_g, f))
-    return FilteringElement(a, b, 0.5 * (c + c.T), eta, 0.5 * (j + j.T))
+    eta = instrumented_matvec(_t(gf), st_inv_resid)
+    j = instrumented_matmul(_t(gf), instrumented_matmul(st_inv_g, f))
+    return FilteringElement(a, b, 0.5 * (c + _t(c)), eta, 0.5 * (j + _t(j)))
 
 
-def _element_traffic(n: int, matrices: int, vectors: int) -> None:
+def _element_traffic(
+    n: int, matrices: int, vectors: int, batch: int = 1
+) -> None:
     """Charge the memory traffic of touching whole scan elements.
 
     Scan combines read two complete elements and write a third; these
@@ -139,7 +161,12 @@ def _element_traffic(n: int, matrices: int, vectors: int) -> None:
     than the odd-even algorithm, which updates its step array in
     place (paper §5.4 / Fig 4's memory-bound phases).
     """
-    add_cost(0.0, 3.0 * 8.0 * (matrices * n * n + vectors * n))
+    add_cost(0.0, 3.0 * 8.0 * batch * (matrices * n * n + vectors * n))
+
+
+def _batch_of(vec: np.ndarray) -> int:
+    """Number of stacked sequences given a ``(..., n)`` vector."""
+    return batch_count(vec.shape[:-1])
 
 
 def combine_filtering(
@@ -147,28 +174,28 @@ def combine_filtering(
 ) -> FilteringElement:
     """Associative combination (``fi`` earlier in time than ``fj``)."""
     n = fi.n
-    _element_traffic(n, matrices=3, vectors=2)
+    _element_traffic(n, matrices=3, vectors=2, batch=_batch_of(fi.b))
     eye = np.eye(n)
     # M = (I + C_i J_j)^{-1} applied from the right of A_j.
     m_inv = eye + instrumented_matmul(fi.c, fj.j)
-    aj_m = instrumented_solve(m_inv.T, fj.a.T).T
+    aj_m = _t(instrumented_solve(_t(m_inv), _t(fj.a)))
     a = instrumented_matmul(aj_m, fi.a)
     b = (
-        instrumented_matmul(
-            aj_m, fi.b + instrumented_matmul(fi.c, fj.eta)
+        instrumented_matvec(
+            aj_m, fi.b + instrumented_matvec(fi.c, fj.eta)
         )
         + fj.b
     )
     c = (
-        instrumented_matmul(instrumented_matmul(aj_m, fi.c), fj.a.T)
+        instrumented_matmul(instrumented_matmul(aj_m, fi.c), _t(fj.a))
         + fj.c
     )
     # Dual factor (I + J_j C_i)^{-1} for the information terms.
     mt_inv = eye + instrumented_matmul(fj.j, fi.c)
-    ai_mt = instrumented_solve(mt_inv.T, fi.a).T  # A_i^T (I + J_j C_i)^{-1}
+    ai_mt = _t(instrumented_solve(_t(mt_inv), fi.a))  # A_i^T (I + J_j C_i)^{-1}
     eta = (
-        instrumented_matmul(
-            ai_mt, fj.eta - instrumented_matmul(fj.j, fi.b)
+        instrumented_matvec(
+            ai_mt, fj.eta - instrumented_matvec(fj.j, fi.b)
         )
         + fi.eta
     )
@@ -176,7 +203,7 @@ def combine_filtering(
         instrumented_matmul(ai_mt, instrumented_matmul(fj.j, fi.a))
         + fi.j
     )
-    return FilteringElement(a, b, 0.5 * (c + c.T), eta, 0.5 * (j + j.T))
+    return FilteringElement(a, b, 0.5 * (c + _t(c)), eta, 0.5 * (j + _t(j)))
 
 
 def make_smoothing_element(
@@ -190,36 +217,40 @@ def make_smoothing_element(
     the last state, whose element is the identity-with-offset
     ``(0, m, P)``).
     """
-    n = m_f.shape[0]
+    n = m_f.shape[-1]
     if next_step is None:
-        return SmoothingElement(np.zeros((n, n)), m_f.copy(), p_f.copy())
+        return SmoothingElement(
+            np.zeros(m_f.shape[:-1] + (n, n)), m_f.copy(), p_f.copy()
+        )
     f, cvec, q = next_step.F, next_step.c, next_step.Q
     fp = instrumented_matmul(f, p_f)
-    p_pred = instrumented_matmul(fp, f.T) + q
-    p_pred = 0.5 * (p_pred + p_pred.T)
+    p_pred = instrumented_matmul(fp, _t(f)) + q
+    p_pred = 0.5 * (p_pred + _t(p_pred))
     # E = P F^T (P_pred)^{-1}
-    e = instrumented_solve(p_pred, fp).T
-    g = m_f - instrumented_matmul(
-        e, instrumented_matmul(f, m_f) + cvec
+    e = _t(instrumented_solve(p_pred, fp))
+    g = m_f - instrumented_matvec(
+        e, instrumented_matvec(f, m_f) + cvec
     )
     ell = p_f - instrumented_matmul(e, fp)
-    return SmoothingElement(e, g, 0.5 * (ell + ell.T))
+    return SmoothingElement(e, g, 0.5 * (ell + _t(ell)))
 
 
 def combine_smoothing(
     si: SmoothingElement, sj: SmoothingElement
 ) -> SmoothingElement:
     """Associative combination (``si`` earlier in time than ``sj``)."""
-    _element_traffic(si.g.shape[0], matrices=2, vectors=1)
+    _element_traffic(
+        si.g.shape[-1], matrices=2, vectors=1, batch=_batch_of(si.g)
+    )
     e = instrumented_matmul(si.e, sj.e)
-    g = instrumented_matmul(si.e, sj.g) + si.g
+    g = instrumented_matvec(si.e, sj.g) + si.g
     ell = (
         instrumented_matmul(
-            instrumented_matmul(si.e, sj.ell), si.e.T
+            instrumented_matmul(si.e, sj.ell), _t(si.e)
         )
         + si.ell
     )
-    return SmoothingElement(e, g, 0.5 * (ell + ell.T))
+    return SmoothingElement(e, g, 0.5 * (ell + _t(ell)))
 
 
 class AssociativeSmoother:

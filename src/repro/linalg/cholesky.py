@@ -23,7 +23,7 @@ from ..parallel.tally import add_cost
 from .flops import cholesky_flops, trsm_bytes, trsm_flops
 from .triangular import solve_lower
 
-__all__ = ["spd_cholesky", "spd_solve", "Whitener"]
+__all__ = ["spd_cholesky", "spd_solve", "Whitener", "stack_whiten"]
 
 
 def spd_solve(a: np.ndarray, b: np.ndarray, what: str = "matrix") -> np.ndarray:
@@ -138,6 +138,13 @@ class Whitener:
         """Whitener for covariance ``stddev^2 * I``."""
         return cls(kind="scaled_identity", dim=dim, scale=stddev)
 
+    @property
+    def is_unit(self) -> bool:
+        """Whether whitening is a no-op (unit covariance)."""
+        return self._factor is None and (
+            self.kind == "identity" or self.scale == 1.0
+        )
+
     def whiten(self, block: np.ndarray) -> np.ndarray:
         """Return ``V @ block`` (= ``S^{-1} block``, a triangular solve)."""
         block = np.asarray(block, dtype=float)
@@ -166,3 +173,63 @@ class Whitener:
         if self._factor is None:
             return 0.0
         return trsm_flops(self.dim, self.dim)
+
+    def factor_matrix(self) -> np.ndarray:
+        """The lower Cholesky factor ``S`` as an explicit matrix.
+
+        Identity/scaled-identity whiteners materialize ``scale * I`` so
+        heterogeneous stacks can be whitened with one batched solve
+        (see :func:`stack_whiten`).
+        """
+        if self._factor is not None:
+            return self._factor
+        scale = self.scale if self.kind == "scaled_identity" else 1.0
+        return scale * np.eye(self.dim)
+
+
+def stack_whiten(
+    whiteners: list[Whitener], block_stack: np.ndarray
+) -> np.ndarray:
+    """Whiten a ``(B, rows, cols)`` stack, one whitener per slice.
+
+    This is the batched counterpart of ``B`` separate
+    :meth:`Whitener.whiten` calls: when any slice carries a real
+    Cholesky factor the whole stack goes through *one* batched
+    triangular solve (identity slices contribute ``scale * I``
+    factors); when every whitener is an (optionally scaled) identity
+    the stack is just scaled.  Slice ``b`` of the result equals
+    ``whiteners[b].whiten(block_stack[b])`` to roundoff.
+    """
+    block_stack = np.asarray(block_stack, dtype=float)
+    if block_stack.ndim != 3:
+        raise ValueError(
+            f"expected a (B, rows, cols) stack, got {block_stack.shape}"
+        )
+    if block_stack.shape[0] != len(whiteners):
+        raise ValueError(
+            f"{len(whiteners)} whiteners cannot whiten a stack of "
+            f"{block_stack.shape[0]} slices"
+        )
+    rows = block_stack.shape[1]
+    for w in whiteners:
+        if w.dim != rows:
+            raise ValueError(
+                f"cannot whiten {rows} rows with a dimension-{w.dim} "
+                f"{w.what} whitener"
+            )
+    if not whiteners or rows == 0 or block_stack.shape[2] == 0:
+        return block_stack.astype(float, copy=True)
+    if all(w._factor is None for w in whiteners):
+        scales = np.array(
+            [
+                w.scale if w.kind == "scaled_identity" else 1.0
+                for w in whiteners
+            ]
+        )
+        if np.all(scales == 1.0):
+            return block_stack.astype(float, copy=True)
+        b, k = block_stack.shape[0], block_stack.shape[2]
+        add_cost(float(b) * rows * k, b * trsm_bytes(rows, k))
+        return block_stack / scales[:, None, None]
+    factors = np.stack([w.factor_matrix() for w in whiteners])
+    return solve_lower(factors, block_stack)

@@ -10,6 +10,8 @@ inverse is obtained by a triangular solve against the identity.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 from scipy.linalg import solve_triangular as _solve_triangular
 
@@ -22,9 +24,22 @@ __all__ = [
     "solve_upper_transpose",
     "tri_inverse",
     "instrumented_matmul",
+    "instrumented_matvec",
     "instrumented_solve",
     "check_triangular_system",
+    "mat_transpose",
+    "batch_count",
 ]
+
+
+def mat_transpose(a: np.ndarray) -> np.ndarray:
+    """Transpose the matrix axes only (the batch-safe ``.T``)."""
+    return np.swapaxes(a, -1, -2)
+
+
+def batch_count(shape: tuple) -> int:
+    """Number of stacked slices given an array's leading (batch) axes."""
+    return int(math.prod(shape))
 
 
 def check_triangular_system(r: np.ndarray, what: str = "R") -> None:
@@ -33,29 +48,72 @@ def check_triangular_system(r: np.ndarray, what: str = "R") -> None:
     Raises :class:`numpy.linalg.LinAlgError` with a diagnostic message
     identifying which block failed; the smoothers call this on every
     diagonal block so rank-deficient problems fail loudly instead of
-    producing NaNs deep in a recursion.
+    producing NaNs deep in a recursion.  Accepts a ``(..., n, n)``
+    stack, in which case every slice must pass.
     """
-    if r.ndim != 2 or r.shape[0] != r.shape[1]:
+    if r.ndim < 2 or r.shape[-1] != r.shape[-2]:
         raise np.linalg.LinAlgError(
             f"{what} must be square, got shape {r.shape}; the least-squares "
             "problem does not determine this state (rank deficiency)"
         )
-    d = np.abs(np.diag(r))
-    if r.shape[0] and (d.min() == 0.0 or not np.all(np.isfinite(d))):
-        raise np.linalg.LinAlgError(
-            f"{what} is singular (zero or non-finite diagonal entry); "
-            "check that the problem has full column rank"
+    d = np.abs(np.diagonal(r, axis1=-2, axis2=-1))
+    if d.size and (d.min() == 0.0 or not np.all(np.isfinite(d))):
+        where = ""
+        bad_slices: list = []
+        if r.ndim > 2:
+            # Name the offending slices so one bad sequence in a
+            # batched stack is attributable (and the caller can map it
+            # back to the user's problem).
+            with np.errstate(invalid="ignore"):
+                bad = (d.min(axis=-1) == 0.0) | ~np.all(
+                    np.isfinite(d), axis=-1
+                )
+            bad_slices = [tuple(ix) if len(ix) > 1 else int(ix[0])
+                          for ix in np.argwhere(bad)]
+            where = f" in batch slice(s) {bad_slices}"
+        err = np.linalg.LinAlgError(
+            f"{what} is singular (zero or non-finite diagonal entry)"
+            f"{where}; check that the problem has full column rank"
         )
+        err.batch_slices = bad_slices
+        raise err
 
 
 def _solve(r: np.ndarray, b: np.ndarray, lower: bool, trans: int) -> np.ndarray:
     b = np.asarray(b, dtype=float)
+    if r.ndim > 2:
+        return _solve_batched(r, b, trans)
     n = r.shape[0]
     if n == 0:
         return b.copy()
     k = 1 if b.ndim == 1 else b.shape[1]
     add_cost(trsm_flops(n, k), trsm_bytes(n, k))
     return _solve_triangular(r, b, lower=lower, trans=trans, check_finite=False)
+
+
+def _solve_batched(r: np.ndarray, b: np.ndarray, trans: int) -> np.ndarray:
+    """Triangular solve over a ``(..., n, n)`` stack.
+
+    Dispatches to the batched ``np.linalg.solve`` (vectorized LAPACK
+    ``gesv``) — for the tiny per-block systems of the smoothers, one
+    batched general solve beats a Python-level loop of ``trtrs`` calls
+    by a wide margin, which is the point of the batch subsystem.  The
+    cost charged is still the per-slice ``trsm`` count times the batch,
+    so recorded graphs replay like the per-sequence run.
+    """
+    n = r.shape[-1]
+    if n == 0:
+        return b.copy()
+    vector = b.ndim == r.ndim - 1
+    b2 = b[..., None] if vector else b
+    k = b2.shape[-1]
+    add_cost(
+        batch_count(r.shape[:-2]) * trsm_flops(n, k),
+        batch_count(r.shape[:-2]) * trsm_bytes(n, k),
+    )
+    a = np.swapaxes(r, -1, -2) if trans else r
+    out = np.linalg.solve(a, b2)
+    return out[..., 0] if vector else out
 
 
 def solve_upper(r: np.ndarray, b: np.ndarray) -> np.ndarray:
@@ -74,10 +132,16 @@ def solve_lower(l: np.ndarray, b: np.ndarray) -> np.ndarray:
 
 
 def tri_inverse(r: np.ndarray, lower: bool = False) -> np.ndarray:
-    """Invert a triangular matrix via a solve against the identity."""
-    n = r.shape[0]
+    """Invert a triangular matrix (or stack) via solves against ``I``."""
+    n = r.shape[-1]
     if n == 0:
-        return np.zeros((0, 0))
+        return np.zeros(r.shape)
+    if r.ndim > 2:
+        add_cost(
+            batch_count(r.shape[:-2]) * trsm_flops(n, n),
+            batch_count(r.shape[:-2]) * trsm_bytes(n, n),
+        )
+        return np.linalg.solve(r, np.broadcast_to(np.eye(n), r.shape))
     add_cost(trsm_flops(n, n), trsm_bytes(n, n))
     return _solve_triangular(
         r, np.eye(n), lower=lower, trans=0, check_finite=False
@@ -93,18 +157,61 @@ def instrumented_solve(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """
     a = np.asarray(a, dtype=float)
     b = np.asarray(b, dtype=float)
-    n = a.shape[0]
-    k = 1 if b.ndim == 1 else b.shape[1]
-    add_cost((2.0 / 3.0) * n**3 + 2.0 * trsm_flops(n, k), trsm_bytes(n, k))
+    n = a.shape[-1]
+    # NumPy >= 2.0 only treats 1-D ``b`` as a vector; spell out the
+    # stacked-vector case (``b`` with one axis fewer than ``a``) so the
+    # batched paths cannot be misread as a single matrix.
+    vector = b.ndim == a.ndim - 1 and b.ndim >= 2
+    k = 1 if (vector or b.ndim == 1) else b.shape[-1]
+    batch = batch_count(a.shape[:-2])
+    add_cost(
+        batch * ((2.0 / 3.0) * n**3 + 2.0 * trsm_flops(n, k)),
+        batch * trsm_bytes(n, k),
+    )
+    if vector:
+        return np.linalg.solve(a, b[..., None])[..., 0]
     return np.linalg.solve(a, b)
 
 
 def instrumented_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """``a @ b`` with flop/byte accounting (``dgemm``)."""
+    """``a @ b`` with flop/byte accounting (``dgemm``), batch-aware.
+
+    For stacked operands the per-slice cost is multiplied by the
+    broadcast batch count; the product itself is plain ``np.matmul``
+    broadcasting.
+    """
     a = np.asarray(a, dtype=float)
     b = np.asarray(b, dtype=float)
-    m = a.shape[0]
-    k = a.shape[1] if a.ndim == 2 else a.shape[0]
-    n = b.shape[1] if b.ndim == 2 else 1
-    add_cost(matmul_flops(m, k, n), matmul_bytes(m, k, n))
-    return a @ b
+    if a.ndim <= 2 and b.ndim <= 2:
+        m = a.shape[0]
+        k = a.shape[1] if a.ndim == 2 else a.shape[0]
+        n = b.shape[1] if b.ndim == 2 else 1
+        add_cost(matmul_flops(m, k, n), matmul_bytes(m, k, n))
+        return a @ b
+    m, k = a.shape[-2], a.shape[-1]
+    n = b.shape[-1]
+    batch = batch_count(
+        np.broadcast_shapes(a.shape[:-2], b.shape[:-2])
+    )
+    add_cost(batch * matmul_flops(m, k, n), batch * matmul_bytes(m, k, n))
+    return np.matmul(a, b)
+
+
+def instrumented_matvec(a: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """``a @ x`` for a matrix (stack) and vector (stack), instrumented.
+
+    ``a`` is ``(..., m, n)`` and ``x`` is ``(..., n)``; the result is
+    ``(..., m)``.  This is the batch-safe spelling of a GEMV — plain
+    ``@`` would misread a ``(B, n)`` stack of vectors as one matrix.
+    """
+    a = np.asarray(a, dtype=float)
+    x = np.asarray(x, dtype=float)
+    m, n = a.shape[-2], a.shape[-1]
+    if a.ndim == 2 and x.ndim == 1:
+        add_cost(matmul_flops(m, n, 1), matmul_bytes(m, n, 1))
+        return a @ x
+    batch = batch_count(
+        np.broadcast_shapes(a.shape[:-2], x.shape[:-1])
+    )
+    add_cost(batch * matmul_flops(m, n, 1), batch * matmul_bytes(m, n, 1))
+    return np.matmul(a, x[..., None])[..., 0]

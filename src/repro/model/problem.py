@@ -33,6 +33,10 @@ class WhitenedStep:
     columns ``i-1`` and ``i``); absent for step 0.  Note the sign: the
     stored ``B`` is the *unnegated* ``V_i F_i``; assembly places
     ``-B``.
+
+    Blocks may carry a leading batch axis (``(B, rows, cols)`` with
+    ``(B, rows)`` RHS — see :mod:`repro.batch`), so shape queries
+    address the trailing axes.
     """
 
     index: int
@@ -45,11 +49,11 @@ class WhitenedStep:
 
     @property
     def obs_rows(self) -> int:
-        return self.C.shape[0]
+        return self.C.shape[-2]
 
     @property
     def evo_rows(self) -> int:
-        return 0 if self.B is None else self.B.shape[0]
+        return 0 if self.B is None else self.B.shape[-2]
 
 
 @dataclass

@@ -1,0 +1,38 @@
+"""Smoke tests for the batched throughput benchmark harness."""
+
+import json
+
+from repro.bench.batch import batch_throughput, main
+from repro.bench.harness import results_dir
+
+
+class TestBatchThroughput:
+    def test_quick_sweep_record_shape(self):
+        record = batch_throughput(
+            batch_sizes=(1, 3),
+            k=7,
+            n=2,
+            repeats=1,
+            result_name="_test_batch_throughput",
+        )
+        assert [r["batch"] for r in record["rows"]] == [1, 3]
+        for row in record["rows"]:
+            assert row["loop_seconds"] > 0
+            assert row["batch_seconds"] > 0
+            assert row["speedup"] == (
+                row["loop_seconds"] / row["batch_seconds"]
+            )
+        path = results_dir() / "_test_batch_throughput.json"
+        assert path.exists()
+        persisted = json.loads(path.read_text())
+        assert persisted["workload"]["k"] == 7
+        path.unlink()
+
+    def test_main_quick_mode(self, capsys):
+        main(["--quick"])
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert "speedup" in out
+        quick = results_dir() / "batch_throughput_quick.json"
+        assert quick.exists()
+        quick.unlink()

@@ -11,6 +11,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.batch import BatchSmoother
 from repro.core.normal_equations import NormalEquationsSmoother
 from repro.core.smoother import OddEvenSmoother
 from repro.kalman.associative import AssociativeSmoother
@@ -94,6 +95,75 @@ class TestPaperWorkloads:
         p2, _ = tracking_2d_problem(k=40, seed=1, obs_prob=0.8)
         agree_with_oracle(p1)
         agree_with_oracle(p2)
+
+
+class TestBatchSmootherAgrees:
+    """The batched subsystem against every per-sequence smoother.
+
+    ``BatchSmoother`` buckets and pads heterogeneous-length workloads,
+    so this is also an end-to-end check that padding and zero-row
+    alignment leave each sequence's answer untouched.
+    """
+
+    def heterogeneous_workload(self):
+        problems = [
+            random_problem(k=k, seed=s, dims=3, random_cov=True)
+            for s, k in enumerate([11, 4, 25, 11, 0, 7, 2, 16, 4])
+        ]
+        problems.append(
+            random_problem(k=9, seed=50, dims=3, obs_prob=0.5)
+        )
+        return problems
+
+    def test_matches_per_sequence_smoothers(self):
+        problems = self.heterogeneous_workload()
+        batch_results = BatchSmoother().smooth_many(problems)
+        per_sequence = [
+            ("odd-even", OddEvenSmoother()),
+            ("paige-saunders", PaigeSaundersSmoother()),
+            ("rts", RTSSmoother()),
+        ]
+        for problem, got in zip(problems, batch_results):
+            assert len(got.means) == problem.n_states
+            for name, smoother in per_sequence:
+                want = smoother.smooth(problem)
+                for i in range(problem.n_states):
+                    err = np.max(np.abs(got.means[i] - want.means[i]))
+                    assert err < 1e-8, f"{name} mean {i}: err {err:.2e}"
+                    if want.covariances is not None:
+                        err = np.max(
+                            np.abs(
+                                got.covariances[i] - want.covariances[i]
+                            )
+                        )
+                        assert (
+                            err < 1e-8
+                        ), f"{name} cov {i}: err {err:.2e}"
+
+    def test_batched_associative_matches_oddeven(self):
+        problems = self.heterogeneous_workload()
+        a_results = BatchSmoother(method="associative").smooth_many(
+            problems
+        )
+        ref = OddEvenSmoother()
+        for problem, got in zip(problems, a_results):
+            want = ref.smooth(problem)
+            for i in range(problem.n_states):
+                err = np.max(np.abs(got.means[i] - want.means[i]))
+                assert err < 1e-7, f"mean {i}: err {err:.2e}"
+
+    def test_matches_dense_oracle(self):
+        problems = self.heterogeneous_workload()[:4]
+        batch_results = BatchSmoother().smooth_many(problems)
+        for problem, got in zip(problems, batch_results):
+            dense = assemble_dense(problem)
+            means = dense.solve()
+            covs = dense.covariances()
+            for i in range(problem.n_states):
+                assert np.max(np.abs(got.means[i] - means[i])) < 1e-7
+                assert (
+                    np.max(np.abs(got.covariances[i] - covs[i])) < 1e-7
+                )
 
 
 class TestQROnlyCapabilities:

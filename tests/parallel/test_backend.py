@@ -21,6 +21,20 @@ class TestBlockedRanges:
         blocks = blocked_ranges(7, 3)
         assert [len(b) for b in blocks] == [3, 3, 1]
 
+    def test_remainder_block_covers_all_items(self):
+        # The trailing remainder block must pick up exactly the
+        # leftover items, for every block size.
+        for n_items in range(0, 25):
+            for block_size in range(1, 12):
+                blocks = blocked_ranges(n_items, block_size)
+                flat = [i for block in blocks for i in block]
+                assert flat == list(range(n_items)), (n_items, block_size)
+                if blocks:
+                    assert all(
+                        len(b) == block_size for b in blocks[:-1]
+                    )
+                    assert 1 <= len(blocks[-1]) <= block_size
+
     def test_single_block(self):
         assert len(blocked_ranges(3, 100)) == 1
 
@@ -121,6 +135,85 @@ class TestRecordingBackend:
         backend = RecordingBackend(block_size=10)
         backend.map(range(10), lambda i: i, phase="x", block_size=1)
         assert len(backend.graph.phases[0].tasks) == 10
+
+
+class TestThreadPoolEdgeCases:
+    def test_single_thread_runs_inline(self):
+        import threading
+
+        main = threading.get_ident()
+        seen = []
+        with ThreadPoolBackend(1, block_size=2) as backend:
+            out = backend.map(
+                range(9), lambda i: (seen.append(threading.get_ident()), i)[1]
+            )
+        assert out == list(range(9))
+        assert set(seen) == {main}
+
+    def test_block_size_larger_than_items(self):
+        with ThreadPoolBackend(4, block_size=50) as backend:
+            out = backend.map(range(7), lambda i: i * 2)
+        assert out == [i * 2 for i in range(7)]
+
+    def test_block_size_override_larger_than_items(self):
+        with ThreadPoolBackend(4, block_size=1) as backend:
+            out = backend.map(
+                range(5), lambda i: i + 1, block_size=100
+            )
+        assert out == list(range(1, 6))
+
+    def test_single_thread_empty_map(self):
+        with ThreadPoolBackend(1) as backend:
+            assert backend.map([], lambda x: x) == []
+
+
+class TestRecordingBatchedDispatch:
+    """Tally correctness when the mapped bodies run batched kernels."""
+
+    def test_batched_qr_costs_match_loop(self):
+        from repro.linalg.flops import qr_flops
+        from repro.linalg.householder import batched_qr
+
+        stacks = [
+            np.random.default_rng(s).standard_normal((4, 6, 3))
+            for s in range(6)
+        ]
+        backend = RecordingBackend(block_size=2)
+        backend.map(
+            range(len(stacks)),
+            lambda i: batched_qr(stacks[i]),
+            phase="batched-qr",
+        )
+        phase = backend.graph.phases[0]
+        assert len(phase.tasks) == 3  # ceil(6 / 2)
+        # Every task ran 2 stacked factorizations of 4 slices each.
+        expect = 2 * 4 * qr_flops(6, 3)
+        for task in phase.tasks:
+            assert task.flops == pytest.approx(expect)
+            assert task.bytes_moved > 0
+
+    def test_batch_smoother_records_replayable_graph(self):
+        from repro.batch import BatchSmoother
+        from repro.model.generators import random_problem
+        from repro.parallel.tally import measure_flops
+
+        problems = [
+            random_problem(k=7, seed=s, dims=2, random_cov=True)
+            for s in range(5)
+        ]
+        backend = RecordingBackend()
+        _, whole_run = measure_flops(
+            lambda: BatchSmoother().smooth_many(problems, backend)
+        )
+        graph_flops = sum(
+            t.flops for ph in backend.graph.phases for t in ph.tasks
+        )
+        assert graph_flops > 0
+        # Everything the batched kernels charged inside mapped phases
+        # must appear in the recorded graph (the whole-run tally also
+        # sees stacking/whitening work done outside backend.map).
+        assert graph_flops <= whole_run.flops
+        assert graph_flops == pytest.approx(whole_run.flops, rel=0.35)
 
 
 class TestThreadPoolBackend:
