@@ -1,0 +1,113 @@
+"""Live serving: fixed-lag smoothing of many concurrent streams.
+
+Models the online scenario behind ``repro.stream``: tracking updates
+from many live targets arrive interleaved — sometimes out of order,
+sometimes with the observation missing — and one server instance
+filters each stream online, micro-batches the window smooths across
+the whole fleet with stacked kernels, and emits finalized smoothed
+estimates a fixed lag behind real time.
+
+Run:  PYTHONPATH=src python examples/stream_serving.py
+"""
+
+import time
+
+import numpy as np
+
+import repro
+from repro.stream import StreamStep
+
+N_STREAMS = 32
+T_STEPS = 60
+LAG = 8
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+
+    # Pre-simulate the "live" traffic: one 2-D tracking sequence per
+    # target, each step tagged with its stream and sequence number.
+    problems = [
+        repro.tracking_2d_problem(k=T_STEPS, seed=i, obs_prob=0.9)[0]
+        for i in range(N_STREAMS)
+    ]
+    arrivals = []
+    for sid, problem in enumerate(problems):
+        for seq, step in enumerate(problem.steps):
+            arrivals.append(
+                (
+                    sid,
+                    StreamStep(
+                        seq=seq,
+                        evolution=step.evolution,
+                        # obs_prob < 1 left some steps unobserved —
+                        # the server handles the dropouts.
+                        observation=step.observation,
+                    ),
+                )
+            )
+    # Shake the arrival order: each packet is delayed by a random
+    # amount, so streams interleave and steps arrive out of order
+    # (the server's reorder buffers put them back).
+    order = np.argsort(
+        [
+            N_STREAMS * step.seq + sid + 40 * rng.uniform()
+            for sid, step in arrivals
+        ]
+    )
+    arrivals = [arrivals[i] for i in order]
+    n_missing = sum(1 for _, s in arrivals if s.observation is None)
+    print(
+        f"traffic : {len(arrivals)} arrivals from {N_STREAMS} streams "
+        f"({n_missing} missing observations, randomly reordered)"
+    )
+
+    server = repro.StreamServer(LAG)
+    for sid, problem in enumerate(problems):
+        server.open_stream(
+            sid,
+            problem.state_dims[0],
+            prior=(problem.prior.mean, problem.prior.cov_matrix()),
+        )
+
+    emitted = {sid: [] for sid in range(N_STREAMS)}
+    t0 = time.perf_counter()
+    flush_interval = N_STREAMS * 2  # micro-batch ~2 rounds of arrivals
+    for i, (sid, step) in enumerate(arrivals):
+        server.submit(sid, step)
+        if (i + 1) % flush_interval == 0:
+            for s, ems in server.flush().items():
+                emitted[s].extend(ems)
+    for sid in range(N_STREAMS):
+        emitted[sid].extend(server.close_stream(sid))
+    elapsed = time.perf_counter() - t0
+    print(
+        f"served  : {len(arrivals) / elapsed:8.1f} steps/sec "
+        f"(lag={LAG}, micro-batched across {N_STREAMS} streams)"
+    )
+
+    # Every stream got one finalized estimate per step, in order.
+    assert all(
+        [e.index for e in emitted[sid]] == list(range(T_STEPS + 1))
+        for sid in range(N_STREAMS)
+    )
+
+    # The trailing LAG estimates of each stream carry no approximation
+    # at all; earlier ones condition on >= LAG steps of future data.
+    worst = 0.0
+    smoother = repro.OddEvenSmoother()
+    for sid in (0, 1, 2):
+        full = smoother.smooth(problems[sid])
+        for e in emitted[sid][-LAG:]:
+            worst = max(
+                worst, float(np.max(np.abs(e.mean - full.means[e.index])))
+            )
+    print(f"max |in-window - full smoothing| over 3 streams: {worst:.3e}")
+    assert worst < 1e-8
+
+    print("\nOK: live streams served online, history rolled up, "
+          "estimates exact inside the lag window.")
+
+
+if __name__ == "__main__":
+    main()

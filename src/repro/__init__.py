@@ -23,9 +23,12 @@ from .core import (
     OddEvenSmoother,
     oddeven_back_substitute,
     oddeven_factorize,
+    rollup_prefix,
     selinv_bidiagonal,
     selinv_oddeven,
+    solve_window,
 )
+from .errors import UnobservableStateError
 from .kalman import (
     AssociativeSmoother,
     KalmanFilter,
@@ -58,7 +61,9 @@ from .parallel import (
     ThreadPoolBackend,
     greedy_schedule,
     work_stealing_schedule,
+    worker_pool,
 )
+from .stream import Emission, FixedLagSmoother, StreamServer, StreamStep
 
 __version__ = "1.0.0"
 
@@ -76,8 +81,15 @@ __all__ = [
     "OddEvenSmoother",
     "oddeven_back_substitute",
     "oddeven_factorize",
+    "rollup_prefix",
     "selinv_bidiagonal",
     "selinv_oddeven",
+    "solve_window",
+    "UnobservableStateError",
+    "Emission",
+    "FixedLagSmoother",
+    "StreamServer",
+    "StreamStep",
     "AssociativeSmoother",
     "KalmanFilter",
     "PaigeSaundersSmoother",
@@ -105,6 +117,7 @@ __all__ = [
     "E5_2699V3",
     "greedy_schedule",
     "work_stealing_schedule",
+    "worker_pool",
     "ALL_SMOOTHERS",
     "__version__",
 ]

@@ -1,0 +1,310 @@
+"""Throughput benchmark for the streaming fixed-lag subsystem.
+
+Measures steps/second of three ways to serve ``S`` concurrent live
+streams with fixed-lag smoothing:
+
+``ultimate-loop``
+    The pre-stream baseline: one
+    :class:`~repro.kalman.ultimate.UltimateKalman` per stream, calling
+    ``smooth()`` (odd-even default) plus ``forget`` at every step —
+    what a user would write against the §5.1 incremental API alone.
+
+``fixed-lag-loop``
+    One auto-emitting :class:`~repro.stream.FixedLagSmoother` per
+    stream (sequential window solves — already faster than the
+    odd-even recursion at window sizes).
+
+``server``
+    One :class:`~repro.stream.StreamServer` multiplexing all streams:
+    per-step filtering stays per-stream, but every due window is
+    solved in one micro-batched :class:`~repro.batch.BatchSmoother`
+    call (stacked QR kernels across the fleet).  ``flush_every > 1``
+    additionally micro-batches arrivals in time.
+
+Also verifies and records the accuracy contract: end-of-stream window
+estimates must match full-history smoothing to 1e-8, and every early
+emission must match the batch smooth of its lagged prefix problem.
+
+Run as a module for the table + JSON artifact::
+
+    PYTHONPATH=src python -m repro.bench.stream            # full sweep
+    PYTHONPATH=src python -m repro.bench.stream --quick    # CI smoke
+
+Results are persisted to ``results/stream_throughput.json``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.smoother import OddEvenSmoother
+from ..kalman.ultimate import UltimateKalman
+from ..model.generators import random_problem
+from ..model.problem import StateSpaceProblem
+from ..stream import FixedLagSmoother, StreamServer, StreamStep
+from .harness import format_series_table, median_time, save_results
+
+__all__ = ["stream_throughput", "window_accuracy", "main"]
+
+DEFAULT_STREAM_COUNTS = (4, 16, 64)
+
+
+def _workload(
+    n_streams: int, t_steps: int, n: int, seed: int = 0
+) -> list[StateSpaceProblem]:
+    """``n_streams`` live sequences of ``t_steps + 1`` states each."""
+    return [
+        random_problem(k=t_steps, seed=seed + i, dims=n, random_cov=True)
+        for i in range(n_streams)
+    ]
+
+
+def _prior(problem: StateSpaceProblem):
+    return (problem.prior.mean, problem.prior.cov_matrix())
+
+
+def _drive_ultimate_loop(
+    problems: list[StateSpaceProblem], lag: int
+) -> None:
+    for p in problems:
+        uk = UltimateKalman(p.state_dims[0], prior=_prior(p))
+        if p.steps[0].observation is not None:
+            uk.observe_step(p.steps[0].observation)
+        for step in p.steps[1:]:
+            if uk.current_index - uk.first_index + 1 > lag:
+                uk.smooth()
+                uk.forget(keep_last=lag)
+            uk.evolve_step(step.evolution)
+            if step.observation is not None:
+                uk.observe_step(step.observation)
+        uk.smooth()
+
+
+def _drive_fixed_lag_loop(
+    problems: list[StateSpaceProblem], lag: int
+) -> None:
+    for p in problems:
+        fls = FixedLagSmoother(p.state_dims[0], lag, prior=_prior(p))
+        if p.steps[0].observation is not None:
+            fls.observe_step(p.steps[0].observation)
+        for step in p.steps[1:]:
+            fls.evolve_step(step.evolution)
+            if step.observation is not None:
+                fls.observe_step(step.observation)
+        fls.emissions()
+        fls.finalize()
+
+
+def _drive_server(
+    problems: list[StateSpaceProblem],
+    lag: int,
+    flush_every: int = 1,
+    backend=None,
+) -> dict[object, list]:
+    server = StreamServer(lag, backend=backend)
+    collected: dict[object, list] = {}
+    for i, p in enumerate(problems):
+        server.open_stream(i, p.state_dims[0], prior=_prior(p))
+        collected[i] = []
+    n_steps = max(p.n_states for p in problems)
+    for t in range(n_steps):
+        for i, p in enumerate(problems):
+            if t >= p.n_states:
+                continue
+            step = p.steps[t]
+            server.submit(
+                i,
+                StreamStep(
+                    seq=t,
+                    evolution=step.evolution,
+                    observation=step.observation,
+                ),
+            )
+        if t % flush_every == 0:
+            for sid, ems in server.flush().items():
+                collected[sid].extend(ems)
+    for i in range(len(problems)):
+        collected[i].extend(server.close_stream(i))
+    return collected
+
+
+def window_accuracy(
+    n_streams: int = 8,
+    t_steps: int = 24,
+    n: int = 4,
+    lag: int = 6,
+    flush_every: int = 1,
+) -> dict:
+    """Max deviation of the served estimates from their contracts.
+
+    ``window_error``: end-of-stream (in-window) emissions vs the
+    full-history batch smooth — must be roundoff (<= 1e-8).
+    ``contract_error``: early emissions vs the batch smooth of their
+    recorded ``frontier`` prefix problem (data through at least step
+    ``i + lag``) — also roundoff, by the sufficiency of the rolled-up
+    boundary pair.
+    """
+    problems = _workload(n_streams, t_steps, n, seed=1000)
+    collected = _drive_server(problems, lag, flush_every)
+    smoother = OddEvenSmoother()
+    window_error = 0.0
+    contract_error = 0.0
+    for i, p in enumerate(problems):
+        full = smoother.smooth(p)
+        for em in collected[i]:
+            if em.frontier >= p.k:
+                window_error = max(
+                    window_error,
+                    float(np.max(np.abs(em.mean - full.means[em.index]))),
+                )
+            else:
+                prefix = smoother.smooth(p.subproblem(em.frontier))
+                contract_error = max(
+                    contract_error,
+                    float(
+                        np.max(np.abs(em.mean - prefix.means[em.index]))
+                    ),
+                )
+    return {"window_error": window_error, "contract_error": contract_error}
+
+
+def stream_throughput(
+    stream_counts=DEFAULT_STREAM_COUNTS,
+    t_steps: int = 40,
+    n: int = 4,
+    lag: int = 8,
+    flush_every: int = 1,
+    repeats: int = 3,
+    result_name: str = "stream_throughput",
+) -> dict:
+    """Steps/sec of the three serving strategies per stream count.
+
+    Returns (and persists) a record with, per stream count, the
+    median wall-clock seconds and derived steps/sec of each strategy,
+    the server's speedup over both loops, and the accuracy record.
+    """
+    rows = []
+    for n_streams in stream_counts:
+        problems = _workload(n_streams, t_steps, n)
+        steps_total = sum(p.n_states for p in problems)
+        t_uk = median_time(
+            lambda: _drive_ultimate_loop(problems, lag), repeats=repeats
+        )
+        t_fl = median_time(
+            lambda: _drive_fixed_lag_loop(problems, lag), repeats=repeats
+        )
+        t_srv = median_time(
+            lambda: _drive_server(problems, lag, flush_every),
+            repeats=repeats,
+        )
+        rows.append(
+            {
+                "streams": n_streams,
+                "steps_total": steps_total,
+                "ultimate_loop_seconds": t_uk,
+                "fixed_lag_loop_seconds": t_fl,
+                "server_seconds": t_srv,
+                "ultimate_loop_steps_per_sec": steps_total / t_uk,
+                "fixed_lag_loop_steps_per_sec": steps_total / t_fl,
+                "server_steps_per_sec": steps_total / t_srv,
+                "speedup_vs_ultimate_loop": t_uk / t_srv,
+                "speedup_vs_fixed_lag_loop": t_fl / t_srv,
+            }
+        )
+    record = {
+        "workload": {
+            "t_steps": t_steps,
+            "n": n,
+            "lag": lag,
+            "flush_every": flush_every,
+            "repeats": repeats,
+        },
+        "rows": rows,
+        "accuracy": window_accuracy(
+            n_streams=min(8, max(stream_counts)),
+            t_steps=min(t_steps, 24),
+            n=n,
+            lag=min(lag, 6),
+            flush_every=flush_every,
+        ),
+    }
+    save_results(result_name, record)
+    return record
+
+
+def main(argv: list[str] | None = None) -> None:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Streaming fixed-lag throughput benchmark"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="tiny sweep for CI smoke runs",
+    )
+    parser.add_argument(
+        "--flush-every",
+        type=int,
+        default=1,
+        help="server flush cadence (micro-batching in time)",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        record = stream_throughput(
+            stream_counts=(1, 4),
+            t_steps=12,
+            n=3,
+            lag=4,
+            flush_every=args.flush_every,
+            repeats=1,
+            result_name="stream_throughput_quick",
+        )
+    else:
+        record = stream_throughput(flush_every=args.flush_every)
+    xs = [r["streams"] for r in record["rows"]]
+    wl = record["workload"]
+    print(
+        format_series_table(
+            "Streaming fixed-lag throughput "
+            f"(T={wl['t_steps']}, n={wl['n']}, lag={wl['lag']}, "
+            f"flush_every={wl['flush_every']})",
+            "streams",
+            xs,
+            {
+                "UltimateKalman loop (steps/s)": {
+                    r["streams"]: r["ultimate_loop_steps_per_sec"]
+                    for r in record["rows"]
+                },
+                "FixedLag loop (steps/s)": {
+                    r["streams"]: r["fixed_lag_loop_steps_per_sec"]
+                    for r in record["rows"]
+                },
+                "StreamServer (steps/s)": {
+                    r["streams"]: r["server_steps_per_sec"]
+                    for r in record["rows"]
+                },
+                "speedup vs UltimateKalman": {
+                    r["streams"]: r["speedup_vs_ultimate_loop"]
+                    for r in record["rows"]
+                },
+                "speedup vs FixedLag loop": {
+                    r["streams"]: r["speedup_vs_fixed_lag_loop"]
+                    for r in record["rows"]
+                },
+            },
+            unit="steps/s (speedups unitless)",
+        )
+    )
+    acc = record["accuracy"]
+    print(
+        f"\naccuracy: in-window vs full smoothing "
+        f"{acc['window_error']:.3e} (contract: <= 1e-8), "
+        f"emissions vs lagged prefix {acc['contract_error']:.3e}"
+    )
+    if acc["window_error"] > 1e-8 or acc["contract_error"] > 1e-8:
+        raise SystemExit("accuracy contract violated")
+
+
+if __name__ == "__main__":
+    main()

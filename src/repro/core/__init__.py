@@ -10,6 +10,7 @@ from .rfactor import BidiagonalR, OddEvenR, RBlockRow
 from .selinv import SelInvResult, selinv_bidiagonal, selinv_oddeven
 from .smoother import OddEvenSmoother
 from .solve import oddeven_back_substitute, square_diag
+from .window import filtered_pair, rollup_prefix, solve_window
 
 __all__ = [
     "NormalEquationsSmoother",
@@ -26,4 +27,7 @@ __all__ = [
     "OddEvenSmoother",
     "oddeven_back_substitute",
     "square_diag",
+    "filtered_pair",
+    "rollup_prefix",
+    "solve_window",
 ]

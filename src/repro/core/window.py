@@ -1,0 +1,169 @@
+"""Window rollup and sequential window solves for streaming smoothers.
+
+The fixed-lag streaming layer (:mod:`repro.stream`) repeatedly smooths
+a short sliding window whose history has been compressed into a
+*summary observation*: the carried triangular rows of the
+Paige–Saunders sweep at the window boundary (the same machinery behind
+``UltimateKalman.forget`` — paper §5.1, Toledo arXiv:2207.13526).
+This module provides that machinery as standalone functions over batch
+problems:
+
+:func:`filtered_pair`
+    The filtered information pair ``(R, z)`` of one state — the
+    compressed triangle constraining it given all data up to and
+    including its own step.  In a Markov chain this pair is a
+    *sufficient* summary of the dropped prefix.
+
+:func:`rollup_prefix`
+    Replaces states ``0 .. first_kept - 1`` (and the data at
+    ``first_kept``) of a problem by the summary observation
+    ``R u = z``, yielding the compact window problem whose smoothed
+    estimates equal the corresponding tail of the full problem's.
+
+:func:`solve_window`
+    Smooths one (typically short) window with the sequential
+    bidiagonal factorization and SelInv Algorithm 1
+    (:func:`repro.core.selinv.selinv_bidiagonal`) — for a lag-sized
+    window the sequential sweep beats the odd-even recursion's
+    1.8-2.5x work overhead, and there is no parallelism to exploit at
+    that size anyway.  Rank deficiencies surface as
+    :class:`~repro.errors.UnobservableStateError` naming the *global*
+    step range, not as a LAPACK error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import UnobservableStateError
+from ..kalman.result import SmootherResult
+from ..linalg.householder import QRFactor
+from ..model.problem import StateSpaceProblem
+from ..model.steps import Observation, Step
+from ..parallel.backend import Backend
+
+__all__ = ["filtered_pair", "rollup_prefix", "solve_window"]
+
+
+def filtered_pair(
+    problem: StateSpaceProblem, index: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Filtered information pair ``(R, z)`` of state ``index``.
+
+    Runs the Paige–Saunders forward sweep over states ``0 .. index``
+    and returns the compressed triangular rows constraining state
+    ``index`` given all observations (and the prior) up to and
+    including step ``index``.  ``R`` has at most ``n_index`` rows;
+    fewer rows mean the state is not yet fully determined (legal in
+    the unknown-initial-state workflow).
+
+    The pair is unique only up to an orthogonal row transformation;
+    compare information matrices ``R^T R`` (or estimates), not raw
+    factors.
+    """
+    if not 0 <= index <= problem.k:
+        raise ValueError(f"index must be in [0, {problem.k}], got {index}")
+    white = problem.subproblem(index).whiten()
+    carry = np.zeros((0, white.steps[0].n))
+    carry_rhs = np.zeros(0)
+    for i, ws in enumerate(white.steps):
+        n = ws.n
+        # Observe/compress: fold this column's observation rows into
+        # the carry, keeping at most n triangular rows (the rest is
+        # pure residual and irrelevant to the summary).
+        stacked = np.vstack([carry, ws.C])
+        rhs = np.concatenate([carry_rhs, ws.rhs_C])
+        if stacked.shape[0] > n:
+            qf = QRFactor(stacked)
+            carry = qf.r
+            carry_rhs = qf.apply_qt(rhs)[:n]
+        else:
+            carry, carry_rhs = stacked, rhs
+        if i == index:
+            break
+        # Evolve: eliminate this state from [carry; -B] and keep the
+        # rows constraining the next state.
+        nxt = white.steps[i + 1]
+        pivot = np.vstack([carry, -nxt.B])
+        coupled = np.vstack(
+            [np.zeros((carry.shape[0], nxt.n)), nxt.D]
+        )
+        rhs_col = np.concatenate([carry_rhs, nxt.rhs_BD])
+        qf = QRFactor(pivot)
+        applied = qf.apply_qt(np.column_stack([coupled, rhs_col]))
+        drop = min(n, pivot.shape[0])
+        carry = applied[drop:, :-1]
+        carry_rhs = applied[drop:, -1]
+    return carry, carry_rhs
+
+
+def rollup_prefix(
+    problem: StateSpaceProblem, first_kept: int
+) -> StateSpaceProblem:
+    """Compress states ``0 .. first_kept - 1`` into a summary prior block.
+
+    Returns the window problem over states ``first_kept .. k`` whose
+    first step carries the summary observation ``R u = z`` from
+    :func:`filtered_pair` *in place of* the original prior and the
+    original data at ``first_kept`` (both are folded into the pair).
+    Smoothing the window equals the corresponding tail of smoothing
+    the full problem, means and covariances, to roundoff — the
+    from-scratch counterpart of ``UltimateKalman.forget``.
+
+    The prefix's contribution to the least-squares residual is
+    discarded; only estimates are preserved.
+    """
+    if not 0 <= first_kept <= problem.k:
+        raise ValueError(
+            f"first_kept must be in [0, {problem.k}], got {first_kept}"
+        )
+    if first_kept == 0:
+        return problem
+    r_sum, z_sum = filtered_pair(problem, first_kept)
+    boundary = problem.steps[first_kept]
+    first = Step(
+        state_dim=boundary.state_dim,
+        observation=Observation(G=r_sum, o=z_sum),
+    )
+    return StateSpaceProblem(
+        [first] + list(problem.steps[first_kept + 1 :]), prior=None
+    )
+
+
+def solve_window(
+    problem: StateSpaceProblem,
+    *,
+    first_index: int = 0,
+    compute_covariance: bool = True,
+    backend: Backend | None = None,
+) -> SmootherResult:
+    """Smooth one window with the sequential sweep plus SelInv.
+
+    ``first_index`` is the global index of the window's first state
+    (after forgetting, local state 0 is global state ``first_index``);
+    it only affects error messages, which name global steps.
+    """
+    # Imported lazily: core.window -> kalman.paige_saunders -> core
+    # would otherwise cycle at package-import time.
+    from ..kalman.paige_saunders import PaigeSaundersSmoother
+
+    k = problem.k
+    span = f"[{first_index}, {first_index + k}]"
+    try:
+        result = PaigeSaundersSmoother(
+            compute_covariance=compute_covariance
+        ).smooth(problem, backend)
+    except UnobservableStateError:
+        raise
+    except np.linalg.LinAlgError as exc:
+        raise UnobservableStateError(
+            f"window covering steps {span} is not observable from the "
+            f"data absorbed so far: {exc}"
+        ) from exc
+    return SmootherResult(
+        means=result.means,
+        covariances=result.covariances,
+        residual_sq=result.residual_sq,
+        algorithm="window-sequential" + ("" if compute_covariance else "-nc"),
+        diagnostics={"k": k, "first_index": first_index},
+    )

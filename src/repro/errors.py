@@ -1,0 +1,28 @@
+"""Package-wide exception types.
+
+This module sits below every other layer (it imports only numpy) so
+that the model, core, kalman, nonlinear, and stream layers can share
+exception types without import cycles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["UnobservableStateError"]
+
+
+class UnobservableStateError(np.linalg.LinAlgError):
+    """The data absorbed so far does not determine a state.
+
+    Raised by the incremental paths (``UltimateKalman.estimate``/
+    ``smooth``, the fixed-lag window solves, the extended Kalman
+    filter) when a state or window is rank deficient, *naming the
+    global step index* instead of surfacing a raw LAPACK error from
+    deep inside a factorization.
+
+    ``numpy.linalg.LinAlgError`` subclasses :class:`ValueError`, so
+    this type is caught both by callers expecting a linear-algebra
+    failure and by callers expecting a plain ``ValueError`` for
+    invalid input.
+    """

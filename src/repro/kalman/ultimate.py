@@ -28,6 +28,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.smoother import OddEvenSmoother
+from ..errors import UnobservableStateError
+from ..linalg.cholesky import whiten_packed
 from ..linalg.householder import QRFactor
 from ..linalg.triangular import (
     check_triangular_system,
@@ -75,6 +77,9 @@ class UltimateKalman:
         n = state_dim
         self._carry = np.zeros((0, n))
         self._carry_rhs = np.zeros(0)
+        #: whether the carried rows are known upper-triangular (skips
+        #: the re-triangularizing QR on the estimate/snapshot path)
+        self._carry_tri = True
         # Filtered (R, z) pairs of past states, recorded at evolve time;
         # used by forget() as sufficient summaries of dropped history.
         self._filtered: dict[int, tuple[np.ndarray, np.ndarray]] = {}
@@ -83,7 +88,7 @@ class UltimateKalman:
         self.first_index = 0
         if self._prior is not None:
             pobs = self._prior.as_observation()
-            self._absorb(pobs.L.whiten(pobs.G), pobs.L.whiten(pobs.o))
+            self._absorb(*whiten_packed(pobs.L, pobs.G, pobs.o))
 
     # ------------------------------------------------------------------
     # timeline construction
@@ -103,7 +108,15 @@ class UltimateKalman:
         Returns the new state's index.  ``H`` defaults to the identity;
         a rectangular ``H`` changes the state dimension.
         """
-        evolution = Evolution(F=F, c=c, K=K, H=H)
+        return self.evolve_step(Evolution(F=F, c=c, K=K, H=H))
+
+    def evolve_step(self, evolution: Evolution) -> int:
+        """:meth:`evolve` taking a prebuilt :class:`Evolution`.
+
+        Lets streaming callers that already hold validated model
+        objects (with their Cholesky whiteners) avoid a covariance
+        round trip through raw matrices.
+        """
         if evolution.prev_dim != self.current_dim:
             raise ValueError(
                 f"F has {evolution.prev_dim} columns but the current "
@@ -121,9 +134,11 @@ class UltimateKalman:
         )
         # Filter update (evolve phase of the sweep): eliminate the old
         # state from [carry; -B | 0; D], carrying rows on the new one.
-        nb = -evolution.K.whiten(evolution.F)
-        d = evolution.K.whiten(evolution.H)
-        rhs_evo = evolution.K.whiten(evolution.c)
+        # [F | H | c] whitens in one triangular solve.
+        b, d, rhs_evo = whiten_packed(
+            evolution.K, evolution.F, evolution.H, evolution.c
+        )
+        nb = -b
         n_old = self.current_dimension_of(-2)
         pivot = np.vstack([self._carry, nb])
         coupled = np.vstack(
@@ -133,17 +148,22 @@ class UltimateKalman:
         if pivot.shape[0] == 0:
             self._carry = coupled
             self._carry_rhs = rhs
+            self._carry_tri = False
             return self.current_index
         qf = QRFactor(pivot)
         applied = qf.apply_qt(np.column_stack([coupled, rhs]))
         drop = min(n_old, pivot.shape[0])
         self._carry = applied[drop:, :-1]
         self._carry_rhs = applied[drop:, -1]
+        self._carry_tri = False
         return self.current_index
 
     def observe(self, G, o, L=None) -> None:
         """Attach an observation ``o = G u + delta`` to the newest state."""
-        obs = Observation(G=G, o=o, L=L)
+        self.observe_step(Observation(G=G, o=o, L=L))
+
+    def observe_step(self, obs: Observation) -> None:
+        """:meth:`observe` taking a prebuilt :class:`Observation`."""
         if obs.state_dim != self.current_dim:
             raise ValueError(
                 f"G has {obs.state_dim} columns but the current state "
@@ -161,7 +181,7 @@ class UltimateKalman:
             l_cov[: old.rows, : old.rows] = old.L.covariance()
             l_cov[old.rows :, old.rows :] = obs.L.covariance()
             step.observation = Observation(G=g, o=ovec, L=l_cov)
-        self._absorb(obs.L.whiten(obs.G), obs.L.whiten(obs.o))
+        self._absorb(*whiten_packed(obs.L, obs.G, obs.o))
 
     def current_dimension_of(self, index: int) -> int:
         return self._steps[index].state_dim
@@ -219,9 +239,11 @@ class UltimateKalman:
             qtr = qf.apply_qt(rhs_all)
             self._carry = qf.r
             self._carry_rhs = qtr[:n]
+            self._carry_tri = True
         else:
             self._carry = stacked
             self._carry_rhs = rhs_all
+            self._carry_tri = False
 
     # ------------------------------------------------------------------
     # estimates
@@ -233,15 +255,14 @@ class UltimateKalman:
         rows = self._carry.shape[0]
         if rows == 0:
             return self._carry, self._carry_rhs
-        if rows <= n and np.allclose(
-            self._carry, np.triu(self._carry), atol=0.0
-        ):
+        if rows <= n and self._carry_tri:
             return self._carry, self._carry_rhs
         qf = QRFactor(self._carry)
         qtr = qf.apply_qt(self._carry_rhs)
         keep = min(rows, n)
         self._carry = qf.r
         self._carry_rhs = qtr[:keep]
+        self._carry_tri = True
         return self._carry, self._carry_rhs
 
     def is_determined(self) -> bool:
@@ -261,12 +282,20 @@ class UltimateKalman:
         n = self.current_dim
         r, z = self._triangularize()
         if r.shape[0] < n:
-            raise np.linalg.LinAlgError(
+            raise UnobservableStateError(
                 f"state {self.current_index} is not yet determined: only "
                 f"{r.shape[0]} of {n} constraint rows so far"
             )
         r = r[:n]
-        check_triangular_system(r, what=f"filter R at {self.current_index}")
+        try:
+            check_triangular_system(
+                r, what=f"filter R at {self.current_index}"
+            )
+        except np.linalg.LinAlgError as exc:
+            raise UnobservableStateError(
+                f"state {self.current_index} is not observable from the "
+                f"data absorbed so far: {exc}"
+            ) from exc
         mean = solve_upper(r, z[:n])
         rinv = tri_inverse(r)
         return mean, rinv @ rinv.T
@@ -276,7 +305,22 @@ class UltimateKalman:
         return StateSpaceProblem(list(self._steps), prior=self._prior)
 
     def smooth(self, compute_covariance: bool = True) -> SmootherResult:
-        """Smoothed estimates of every state on the timeline."""
-        return self._smoother.smooth(
-            self.problem(), compute_covariance=compute_covariance
-        )
+        """Smoothed estimates of every state on the timeline.
+
+        A rank-deficient window (e.g. too few observations since the
+        last :meth:`forget`) raises
+        :class:`~repro.errors.UnobservableStateError` naming the global
+        step range instead of a bare LAPACK error.
+        """
+        try:
+            return self._smoother.smooth(
+                self.problem(), compute_covariance=compute_covariance
+            )
+        except UnobservableStateError:
+            raise
+        except np.linalg.LinAlgError as exc:
+            raise UnobservableStateError(
+                f"smoothing window covering steps [{self.first_index}, "
+                f"{self.current_index}] is not observable from the data "
+                f"absorbed so far: {exc}"
+            ) from exc

@@ -23,7 +23,46 @@ from ..parallel.tally import add_cost
 from .flops import cholesky_flops, trsm_bytes, trsm_flops
 from .triangular import solve_lower
 
-__all__ = ["spd_cholesky", "spd_solve", "Whitener", "stack_whiten"]
+__all__ = [
+    "spd_cholesky",
+    "spd_solve",
+    "Whitener",
+    "stack_whiten",
+    "whiten_packed",
+]
+
+
+def whiten_packed(
+    whitener: "Whitener", *blocks: np.ndarray
+) -> tuple[np.ndarray, ...]:
+    """Whiten several row-aligned blocks with *one* triangular solve.
+
+    Packs the blocks column-wise, applies :meth:`Whitener.whiten`
+    once, and re-splits to the input shapes (1-D blocks are packed as
+    single columns and come back 1-D).  Whitening is column-wise, so
+    the result equals whitening each block separately — this is the
+    shared hot-path idiom of the incremental filter and
+    ``StateSpaceProblem.whiten``.
+    """
+    cols: list[np.ndarray] = []
+    widths: list[int | None] = []
+    for block in blocks:
+        block = np.asarray(block, dtype=float)
+        if block.ndim == 1:
+            widths.append(None)
+            cols.append(block[:, None])
+        else:
+            widths.append(block.shape[1])
+            cols.append(block)
+    packed = whitener.whiten(np.concatenate(cols, axis=1))
+    out: list[np.ndarray] = []
+    at = 0
+    for width in widths:
+        take = 1 if width is None else width
+        piece = packed[:, at : at + take]
+        out.append(piece[:, 0] if width is None else piece)
+        at += take
+    return tuple(out)
 
 
 def spd_solve(a: np.ndarray, b: np.ndarray, what: str = "matrix") -> np.ndarray:

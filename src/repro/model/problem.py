@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..linalg.cholesky import whiten_packed
 from .steps import Evolution, GaussianPrior, Observation, Step
 
 __all__ = ["StateSpaceProblem", "WhitenedStep", "WhitenedProblem"]
@@ -161,16 +162,21 @@ class StateSpaceProblem:
         out: list[WhitenedStep] = []
         for i, step in enumerate(self.steps):
             n = step.state_dim
+            # Each block whitens [G | o] (resp. [F | H | c]) packed
+            # into one triangular solve instead of one per piece —
+            # the dominant cost of whitening short windows.
             c_blocks: list[np.ndarray] = []
             rhs_blocks: list[np.ndarray] = []
             if i == 0 and self.prior is not None:
                 pobs = self.prior.as_observation()
-                c_blocks.append(pobs.L.whiten(pobs.G))
-                rhs_blocks.append(pobs.L.whiten(pobs.o))
+                g_w, o_w = whiten_packed(pobs.L, pobs.G, pobs.o)
+                c_blocks.append(g_w)
+                rhs_blocks.append(o_w)
             if step.observation is not None:
                 obs = step.observation
-                c_blocks.append(obs.L.whiten(obs.G))
-                rhs_blocks.append(obs.L.whiten(obs.o))
+                g_w, o_w = whiten_packed(obs.L, obs.G, obs.o)
+                c_blocks.append(g_w)
+                rhs_blocks.append(o_w)
             if c_blocks:
                 C = np.vstack(c_blocks)
                 rhs_C = np.concatenate(rhs_blocks)
@@ -180,9 +186,9 @@ class StateSpaceProblem:
             ws = WhitenedStep(index=i, n=n, C=C, rhs_C=rhs_C)
             if i > 0:
                 evo = step.evolution
-                ws.B = evo.K.whiten(evo.F)
-                ws.D = evo.K.whiten(evo.H)
-                ws.rhs_BD = evo.K.whiten(evo.c)
+                ws.B, ws.D, ws.rhs_BD = whiten_packed(
+                    evo.K, evo.F, evo.H, evo.c
+                )
             out.append(ws)
         return WhitenedProblem(steps=out)
 

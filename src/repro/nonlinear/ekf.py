@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..errors import UnobservableStateError
 from ..linalg.cholesky import spd_solve
 from ..linalg.triangular import instrumented_matmul
 from ..model.nonlinear import NonlinearProblem
@@ -46,9 +47,18 @@ def extended_kalman_filter(
             innovation = step.observation - step.observation_fn(m)
             pg_t = instrumented_matmul(p, g_jac.T)
             s = instrumented_matmul(g_jac, pg_t) + step.observation_cov
-            gain = spd_solve(
-                0.5 * (s + s.T), pg_t.T, what="EKF innovation covariance"
-            ).T
+            try:
+                gain = spd_solve(
+                    0.5 * (s + s.T),
+                    pg_t.T,
+                    what="EKF innovation covariance",
+                ).T
+            except np.linalg.LinAlgError as exc:
+                raise UnobservableStateError(
+                    f"EKF innovation covariance is singular at step {i}: "
+                    f"the observation there (plus the predicted "
+                    f"covariance) does not determine the update ({exc})"
+                ) from exc
             m = m + instrumented_matmul(gain, innovation)
             ikg = np.eye(p.shape[0]) - instrumented_matmul(gain, g_jac)
             p = instrumented_matmul(

@@ -16,6 +16,7 @@ from .backend import (
     SerialBackend,
     ThreadPoolBackend,
     blocked_ranges,
+    worker_pool,
 )
 from .concurrent_set import ConcurrentSet
 from .machine import E5_2699V3, GOLD_6238R, GRAVITON3, MACHINES, MachineModel
@@ -38,6 +39,7 @@ __all__ = [
     "SerialBackend",
     "ThreadPoolBackend",
     "blocked_ranges",
+    "worker_pool",
     "ConcurrentSet",
     "MachineModel",
     "MACHINES",

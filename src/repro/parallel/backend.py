@@ -30,6 +30,7 @@ noted).
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Sequence
 
@@ -42,6 +43,7 @@ __all__ = [
     "ThreadPoolBackend",
     "RecordingBackend",
     "blocked_ranges",
+    "worker_pool",
 ]
 
 DEFAULT_BLOCK_SIZE = 10
@@ -158,6 +160,22 @@ class ThreadPoolBackend(Backend):
 
     def close(self) -> None:
         self._pool.shutdown(wait=True)
+
+
+def worker_pool(
+    num_threads: int | None = None,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+) -> ThreadPoolBackend:
+    """A host-sized :class:`ThreadPoolBackend` for serving layers.
+
+    ``num_threads=None`` sizes the pool to the visible CPU count —
+    the configuration :class:`repro.stream.StreamServer` hands its
+    stacked window solves.  The caller owns the pool: close it (or use
+    it as a context manager) when the server shuts down.
+    """
+    if num_threads is None:
+        num_threads = os.cpu_count() or 1
+    return ThreadPoolBackend(num_threads, block_size)
 
 
 class RecordingBackend(Backend):

@@ -1,0 +1,26 @@
+"""Streaming fixed-lag smoothing: online serving of unbounded streams.
+
+The paper's algorithms smooth fixed-length sequences; its own API
+layer (§5.1: UltimateKalman, Toledo arXiv:2207.13526) is incremental.
+This subsystem turns the reproduction into an *online* system on that
+foundation:
+
+:class:`~repro.stream.fixed_lag.FixedLagSmoother`
+    One stream: a sliding window of the last ``lag`` states over the
+    carried-triangular-row machinery, emitting finalized estimates as
+    states leave the window and rolling history into a compact summary
+    prior block (``O(lag)`` per step — see the module docstring for
+    the lag-vs-accuracy contract).
+
+:class:`~repro.stream.server.StreamServer`
+    Many concurrent streams: per-stream reorder buffers for
+    out-of-order and missing-observation arrivals, and micro-batched
+    window solves through the stacked kernels of
+    :class:`~repro.batch.BatchSmoother`
+    (see ``repro.bench.stream`` for the throughput numbers).
+"""
+
+from .fixed_lag import Emission, FixedLagSmoother
+from .server import StreamServer, StreamStep
+
+__all__ = ["Emission", "FixedLagSmoother", "StreamServer", "StreamStep"]

@@ -1,0 +1,349 @@
+"""Micro-batched serving of many concurrent live streams.
+
+One :class:`StreamServer` multiplexes any number of live sequences,
+each backed by a :class:`~repro.stream.fixed_lag.FixedLagSmoother` in
+deferred-emission mode.  Arrivals are buffered per stream and applied
+in sequence order (out-of-order and missing-observation arrivals are
+handled by a reorder buffer), and :meth:`StreamServer.flush` solves
+every due window in *one* :class:`~repro.batch.BatchSmoother` call:
+the windows share a block structure (same lag, same model shapes), so
+they stack on a leading batch axis and every recursion level's tiny
+QR/solve calls collapse into stacked LAPACK kernels — the same
+micro-batching that gives ``repro.batch`` its throughput, applied to
+the window solves of live traffic.  Heavy phases can run on a
+:func:`~repro.parallel.backend.worker_pool`.
+
+This is the serving counterpart of the incremental API the paper's
+implementations are built on (§5.1, UltimateKalman — Toledo
+arXiv:2207.13526): filtering stays per-stream and online; the batch
+window smooths are where the paper's stacked orthogonal
+transformations pay off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..batch import BatchSmoother
+from ..errors import UnobservableStateError
+from ..model.steps import Evolution, Observation
+from ..parallel.backend import Backend
+from .fixed_lag import Emission, FixedLagSmoother
+
+__all__ = ["StreamStep", "StreamServer"]
+
+
+@dataclass
+class StreamStep:
+    """One arrival: step ``seq`` of a stream.
+
+    ``seq`` numbers a stream's steps from 0.  Step 0 carries no
+    evolution (it defines the initial state); every later step must
+    carry one.  ``observation=None`` models a missing observation
+    (sensor dropout) — the step still advances the state.
+    """
+
+    seq: int
+    evolution: Evolution | None = None
+    observation: Observation | None = None
+
+    def __post_init__(self):
+        if self.seq < 0:
+            raise ValueError(f"seq must be >= 0, got {self.seq}")
+        if self.seq == 0 and self.evolution is not None:
+            raise ValueError(
+                "step 0 defines the initial state and cannot carry an "
+                "evolution equation"
+            )
+        if self.seq > 0 and self.evolution is None:
+            raise ValueError(
+                f"step {self.seq} is missing its evolution equation"
+            )
+
+
+@dataclass
+class _StreamState:
+    smoother: FixedLagSmoother
+    #: reorder buffer: seq -> StreamStep not yet applicable in order
+    buffered: dict[int, StreamStep] = field(default_factory=dict)
+    #: next sequence number the smoother is waiting for
+    next_seq: int = 0
+    applied: int = 0
+    emitted: int = 0
+
+
+class StreamServer:
+    """Serve many concurrent streams with micro-batched window solves.
+
+    Parameters
+    ----------
+    lag:
+        Fixed lag shared by every stream (see
+        :class:`~repro.stream.fixed_lag.FixedLagSmoother` for the
+        lag-vs-accuracy contract).
+    compute_covariance:
+        Attach covariances to emissions; ``False`` for means-only.
+    smoother:
+        The batch engine for flushes; defaults to
+        :class:`~repro.batch.BatchSmoother` (stacked odd-even
+        kernels).  Must expose ``smooth_many(problems, backend)``.
+    backend:
+        Optional :class:`~repro.parallel.backend.Backend` the batch
+        engine dispatches its heavy phases through (e.g.
+        :func:`~repro.parallel.backend.worker_pool`).  The caller owns
+        the backend's lifetime.
+
+    Notes
+    -----
+    A flush may find windows that have grown more than one step past
+    the lag (several arrivals between flushes): the extra data only
+    *improves* the emitted estimates — ``lag`` is the minimum amount
+    of future data an emission conditions on, never the maximum.
+    """
+
+    def __init__(
+        self,
+        lag: int,
+        *,
+        compute_covariance: bool = True,
+        smoother=None,
+        backend: Backend | None = None,
+    ):
+        if lag < 1:
+            raise ValueError(f"lag must be >= 1, got {lag}")
+        self.lag = int(lag)
+        self.compute_covariance = compute_covariance
+        self._smoother = (
+            smoother
+            if smoother is not None
+            else BatchSmoother(compute_covariance=compute_covariance)
+        )
+        self._backend = backend
+        self._streams: dict[object, _StreamState] = {}
+
+    # ------------------------------------------------------------------
+    # stream lifecycle
+    # ------------------------------------------------------------------
+    def open_stream(
+        self,
+        stream_id,
+        state_dim: int,
+        prior: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> None:
+        """Register a new live stream; fails on a duplicate id."""
+        if stream_id in self._streams:
+            raise ValueError(f"stream {stream_id!r} is already open")
+        self._streams[stream_id] = _StreamState(
+            smoother=FixedLagSmoother(
+                state_dim,
+                self.lag,
+                prior=prior,
+                auto_emit=False,
+                compute_covariance=self.compute_covariance,
+            )
+        )
+
+    def close_stream(self, stream_id) -> list[Emission]:
+        """Finalize a stream and return every remaining emission.
+
+        Refuses (``ValueError``) if buffered out-of-order arrivals are
+        still waiting on a gap — closing would silently drop them.
+        """
+        state = self._state(stream_id)
+        if state.buffered:
+            waiting = sorted(state.buffered)
+            raise ValueError(
+                f"stream {stream_id!r} has a gap: step {state.next_seq} "
+                f"never arrived, steps {waiting} are still buffered"
+            )
+        # Finalize before deregistering: if the final window solve
+        # fails (e.g. an unobservable tail) the stream stays open and
+        # inspectable instead of being silently dropped.
+        out = state.smoother.finalize()
+        del self._streams[stream_id]
+        return out
+
+    def drop_stream(self, stream_id) -> None:
+        """Evict a stream without finalizing it.
+
+        The escape hatch for a stream whose window became unobservable
+        (:meth:`flush` names them): its buffered arrivals and window
+        state are discarded, un-drained emissions included.
+        """
+        self._state(stream_id)
+        del self._streams[stream_id]
+
+    # ------------------------------------------------------------------
+    # arrivals
+    # ------------------------------------------------------------------
+    def submit(self, stream_id, step: StreamStep) -> None:
+        """Accept one arrival, in or out of order.
+
+        Steps at or before the stream's applied frontier are duplicates
+        and rejected; steps beyond the next expected one are buffered
+        until the gap fills.
+        """
+        state = self._state(stream_id)
+        if step.seq < state.next_seq or step.seq in state.buffered:
+            raise ValueError(
+                f"duplicate arrival for stream {stream_id!r}: step "
+                f"{step.seq} was already "
+                + (
+                    "applied"
+                    if step.seq < state.next_seq
+                    else "buffered"
+                )
+            )
+        state.buffered[step.seq] = step
+        self._drain(stream_id, state)
+
+    def _drain(self, stream_id, state: _StreamState) -> None:
+        while state.next_seq in state.buffered:
+            step = state.buffered[state.next_seq]
+            # Validate the whole step before mutating the timeline so
+            # a bad arrival cannot leave the stream half-applied (an
+            # evolved state whose observation was rejected).  Rejected
+            # arrivals are discarded from the buffer — the stream
+            # stays intact and a corrected step can be resubmitted.
+            # (A bad step buffered out of order surfaces here from a
+            # later submit; the error names its own seq, not the
+            # submitted one.)
+            try:
+                self._validate_step(stream_id, state, step)
+            except ValueError:
+                state.buffered.pop(state.next_seq)
+                raise
+            if step.evolution is not None:
+                state.smoother.evolve_step(step.evolution)
+            if step.observation is not None:
+                state.smoother.observe_step(step.observation)
+            state.buffered.pop(state.next_seq)
+            state.applied += 1
+            state.next_seq += 1
+
+    @staticmethod
+    def _validate_step(
+        stream_id, state: _StreamState, step: StreamStep
+    ) -> None:
+        if (
+            step.evolution is not None
+            and step.evolution.prev_dim != state.smoother.current_dim
+        ):
+            raise ValueError(
+                f"stream {stream_id!r} step {step.seq}: F has "
+                f"{step.evolution.prev_dim} columns but the current "
+                f"state has dimension {state.smoother.current_dim}"
+            )
+        new_dim = (
+            step.evolution.state_dim
+            if step.evolution is not None
+            else state.smoother.current_dim
+        )
+        if (
+            step.observation is not None
+            and step.observation.state_dim != new_dim
+        ):
+            raise ValueError(
+                f"stream {stream_id!r} step {step.seq}: observation G "
+                f"has {step.observation.state_dim} columns but the "
+                f"state there has dimension {new_dim}"
+            )
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+    def flush(self) -> dict[object, list[Emission]]:
+        """Solve every due window in one micro-batched call.
+
+        Returns the newly emitted estimates per stream id (streams
+        with nothing to deliver are absent).  The window problems of
+        all due streams are smoothed by one ``smooth_many`` — stacked
+        kernels across the whole fleet.
+
+        One rank-deficient window cannot wedge the fleet: if the
+        stacked call fails, every due stream is re-solved separately,
+        and the raised :class:`~repro.errors.UnobservableStateError`
+        names the broken stream ids (:meth:`drop_stream` evicts
+        them).  Healthy streams' results are kept queued and delivered
+        by the next successful flush — nothing is lost.
+        """
+        due = [
+            (sid, state)
+            for sid, state in self._streams.items()
+            if state.smoother.pending_emissions() > 0
+        ]
+        failures: list[tuple[object, Exception]] = []
+        if due:
+            problems = [
+                state.smoother.window_problem() for _, state in due
+            ]
+            try:
+                results = self._smoother.smooth_many(
+                    problems, self._backend
+                )
+            except np.linalg.LinAlgError:
+                results = None
+            if results is not None:
+                for (sid, state), result in zip(due, results):
+                    state.smoother.absorb_window_result(result)
+            else:
+                # The stacked call is all-or-nothing; solve each due
+                # stream separately so the healthy ones keep going,
+                # then name the broken ones.
+                for sid, state in due:
+                    try:
+                        state.smoother.flush_window()
+                    except np.linalg.LinAlgError as exc:
+                        failures.append((sid, exc))
+        if failures:
+            detail = "; ".join(
+                f"stream {sid!r}: {exc}" for sid, exc in failures
+            )
+            raise UnobservableStateError(
+                f"{len(failures)} stream(s) have unobservable windows "
+                f"— fix their input or drop_stream() them; the other "
+                f"streams were solved and their emissions will be "
+                f"delivered by the next flush ({detail})"
+            )
+        out: dict[object, list[Emission]] = {}
+        for sid, state in self._streams.items():
+            emitted = state.smoother.emissions()
+            if emitted:
+                state.emitted += len(emitted)
+                out[sid] = emitted
+        return out
+
+    def estimate(self, stream_id) -> tuple[np.ndarray, np.ndarray]:
+        """Filtered (online) estimate of a stream's frontier state."""
+        return self._state(stream_id).smoother.estimate()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def stream_ids(self) -> list:
+        return list(self._streams)
+
+    def stats(self) -> dict:
+        """Serving counters (applied/buffered/emitted per stream)."""
+        return {
+            "streams": len(self._streams),
+            "lag": self.lag,
+            "per_stream": {
+                sid: {
+                    "applied": state.applied,
+                    "buffered": len(state.buffered),
+                    "emitted": state.emitted,
+                    "window": state.smoother.window_size,
+                }
+                for sid, state in self._streams.items()
+            },
+        }
+
+    def _state(self, stream_id) -> _StreamState:
+        try:
+            return self._streams[stream_id]
+        except KeyError:
+            raise KeyError(f"no open stream {stream_id!r}") from None

@@ -1,0 +1,48 @@
+"""Smoke tests for the streaming throughput benchmark harness."""
+
+import json
+
+from repro.bench.harness import results_dir
+from repro.bench.stream import main, stream_throughput, window_accuracy
+
+
+class TestStreamThroughput:
+    def test_quick_sweep_record_shape(self):
+        record = stream_throughput(
+            stream_counts=(1, 3),
+            t_steps=8,
+            n=2,
+            lag=3,
+            repeats=1,
+            result_name="_test_stream_throughput",
+        )
+        assert [r["streams"] for r in record["rows"]] == [1, 3]
+        for row in record["rows"]:
+            assert row["ultimate_loop_seconds"] > 0
+            assert row["fixed_lag_loop_seconds"] > 0
+            assert row["server_seconds"] > 0
+            assert row["speedup_vs_ultimate_loop"] == (
+                row["ultimate_loop_seconds"] / row["server_seconds"]
+            )
+        assert record["accuracy"]["window_error"] <= 1e-8
+        assert record["accuracy"]["contract_error"] <= 1e-8
+        path = results_dir() / "_test_stream_throughput.json"
+        assert path.exists()
+        persisted = json.loads(path.read_text())
+        assert persisted["workload"]["lag"] == 3
+        path.unlink()
+
+    def test_accuracy_contract_holds(self):
+        acc = window_accuracy(n_streams=3, t_steps=10, n=2, lag=3)
+        assert acc["window_error"] <= 1e-8
+        assert acc["contract_error"] <= 1e-8
+
+    def test_main_quick_mode(self, capsys):
+        main(["--quick"])
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert "speedup" in out
+        assert "accuracy" in out
+        quick = results_dir() / "stream_throughput_quick.json"
+        assert quick.exists()
+        quick.unlink()

@@ -4,12 +4,21 @@ import numpy as np
 import pytest
 
 from repro.core.smoother import OddEvenSmoother
+from repro.errors import UnobservableStateError
 from repro.kalman.associative import AssociativeSmoother
 from repro.kalman.paige_saunders import PaigeSaundersSmoother
 from repro.kalman.rts import RTSSmoother
+from repro.kalman.ultimate import UltimateKalman
 from repro.model.generators import random_problem
+from repro.model.nonlinear import (
+    NonlinearFunction,
+    NonlinearProblem,
+    NonlinearStep,
+)
 from repro.model.problem import StateSpaceProblem
 from repro.model.steps import Evolution, GaussianPrior, Observation, Step
+from repro.nonlinear.ekf import extended_kalman_filter
+from repro.stream import FixedLagSmoother
 
 ALL_SMOOTHERS = [
     OddEvenSmoother(),
@@ -115,6 +124,92 @@ class TestResultErrors:
         p = random_problem(k=2, seed=4, dims=3)
         result = OddEvenSmoother().smooth(p)
         assert all(s.shape == (3,) for s in result.stddevs())
+
+
+class TestUnobservableWindows:
+    """Unobservable states/windows on the incremental paths raise a
+    ValueError naming the step index, never a bare LAPACK error."""
+
+    def test_estimate_names_undetermined_state(self):
+        uk = UltimateKalman(state_dim=3)  # no prior
+        uk.observe(np.ones((1, 3)), np.zeros(1))
+        with pytest.raises(ValueError, match="state 0"):
+            uk.estimate()
+        uk.evolve(F=np.eye(3))
+        with pytest.raises(ValueError, match="state 1"):
+            uk.estimate()
+        # The specific subclass is catchable too (and is still a
+        # LinAlgError for older callers).
+        with pytest.raises(UnobservableStateError):
+            uk.estimate()
+        with pytest.raises(np.linalg.LinAlgError):
+            uk.estimate()
+
+    def test_incremental_smooth_names_window(self):
+        uk = UltimateKalman(state_dim=2)  # no prior, 1-d observations
+        uk.observe(np.eye(1, 2), np.zeros(1))
+        uk.evolve(F=np.eye(2))
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            uk.smooth()
+
+    def test_fixed_lag_window_failure_names_global_steps(self):
+        """After forgetting, the window indices named are global ones
+        (the local window starts at 0 internally)."""
+        fls = FixedLagSmoother(2, lag=2, auto_emit=False)
+        rng = np.random.default_rng(0)
+        for i in range(6):
+            if i > 0:
+                fls.evolve(F=np.eye(2))
+            fls.observe(np.eye(2), rng.standard_normal(2))
+        fls.flush_window()
+        # Extend the rolled-up window with steps that destroy
+        # observability: huge-noise evolutions and no observations
+        # cannot happen (evolution chains keep rank) — instead shrink
+        # into a wider state the old data cannot determine.
+        h = np.zeros((2, 4))
+        h[:, :2] = np.eye(2)
+        fls.evolve(F=np.eye(2), H=h)  # 4-d state, only 2 rows of info
+        # Window is global states [4, 6] after the rollup.
+        with pytest.raises(ValueError, match=r"\[4, 6\]"):
+            fls.flush_window()
+        with pytest.raises(ValueError, match=r"\[4, 6\]"):
+            fls.finalize()
+
+    def test_ekf_singular_innovation_names_step(self):
+        """A sensor whose linearization vanishes and whose noise
+        covariance is zero makes the EKF innovation covariance
+        singular at a known step; the error must say so instead of
+        surfacing a LAPACK message."""
+        identity = NonlinearFunction(
+            fn=lambda x: x, jacobian=lambda x: np.eye(x.shape[0])
+        )
+        dead_sensor = NonlinearFunction(
+            fn=lambda x: np.zeros(1), jacobian=lambda x: np.zeros((1, 2))
+        )
+        steps = [
+            NonlinearStep(
+                state_dim=2,
+                observation_fn=identity,
+                observation=np.zeros(2),
+                observation_cov=np.eye(2),
+            ),
+            NonlinearStep(
+                state_dim=2,
+                evolution_fn=identity,
+                evolution_cov=np.eye(2),
+                observation_fn=dead_sensor,
+                observation=np.zeros(1),
+                observation_cov=np.zeros((1, 1)),
+            ),
+        ]
+        problem = NonlinearProblem(
+            steps,
+            prior=GaussianPrior(mean=np.zeros(2), cov=np.eye(2)),
+        )
+        with pytest.raises(ValueError, match="step 1"):
+            extended_kalman_filter(problem)
+        with pytest.raises(UnobservableStateError, match="innovation"):
+            extended_kalman_filter(problem)
 
 
 class TestNaNPropagationGuard:

@@ -1,0 +1,186 @@
+"""Property: fixed-lag streaming and batch smoothing are one system.
+
+The contracts (module docstring of :mod:`repro.stream.fixed_lag`):
+
+* an emission for state ``i`` conditions on the data through step
+  ``i + lag`` *exactly* — it equals the full batch smooth of the
+  length-``(i + lag)`` prefix problem at state ``i``;
+* states emitted at the end of the stream (inside the lag window)
+  equal the full-history batch smooth — no approximation at all;
+* the frontier's final emission equals its filtered estimate.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.smoother import OddEvenSmoother
+from repro.model.generators import random_problem
+from repro.stream import FixedLagSmoother
+
+problems = st.builds(
+    random_problem,
+    k=st.integers(min_value=1, max_value=12),
+    seed=st.integers(min_value=0, max_value=5000),
+    dims=st.integers(min_value=1, max_value=4),
+    random_cov=st.booleans(),
+    obs_prob=st.sampled_from([1.0, 0.7]),
+)
+
+lags = st.integers(min_value=1, max_value=6)
+
+
+def drive(fls, problem):
+    s0 = problem.steps[0]
+    if s0.observation is not None:
+        fls.observe_step(s0.observation)
+    for step in problem.steps[1:]:
+        fls.evolve_step(step.evolution)
+        if step.observation is not None:
+            fls.observe_step(step.observation)
+
+
+def serve(problem, lag):
+    """Drive a stream end to end; returns all emissions in order."""
+    fls = FixedLagSmoother(
+        problem.state_dims[0],
+        lag,
+        prior=(problem.prior.mean, problem.prior.cov_matrix()),
+    )
+    drive(fls, problem)
+    mid = fls.emissions()
+    final = fls.finalize()
+    return fls, mid + final
+
+
+class TestFixedLagContracts:
+    @given(problems, lags)
+    @settings(max_examples=12)
+    def test_every_state_emitted_exactly_once(self, problem, lag):
+        _fls, emissions = serve(problem, lag)
+        assert [e.index for e in emissions] == list(
+            range(problem.n_states)
+        )
+
+    @given(problems, lags)
+    @settings(max_examples=10)
+    def test_emissions_equal_lagged_prefix_batch_smooth(
+        self, problem, lag
+    ):
+        """Emitted estimate for state i == full batch smooth of the
+        prefix problem through step i + lag, at state i."""
+        _fls, emissions = serve(problem, lag)
+        smoother = OddEvenSmoother()
+        for em in emissions:
+            if em.index > problem.k - lag:
+                continue  # still in-window at finalize; next test
+            prefix = smoother.smooth(problem.subproblem(em.index + lag))
+            assert np.allclose(
+                em.mean, prefix.means[em.index], atol=1e-8
+            ), em.index
+            assert np.allclose(
+                em.cov, prefix.covariances[em.index], atol=1e-8
+            ), em.index
+
+    @given(problems, lags)
+    @settings(max_examples=10)
+    def test_window_emissions_equal_full_batch_smooth(
+        self, problem, lag
+    ):
+        """States inside the lag window at the end of the stream carry
+        no approximation: they equal the full-history smooth."""
+        _fls, emissions = serve(problem, lag)
+        full = OddEvenSmoother().smooth(problem)
+        for em in emissions:
+            if em.index <= problem.k - lag:
+                continue
+            assert np.allclose(
+                em.mean, full.means[em.index], atol=1e-8
+            ), em.index
+            assert np.allclose(
+                em.cov, full.covariances[em.index], atol=1e-8
+            ), em.index
+
+    @given(problems, lags)
+    @settings(max_examples=10)
+    def test_frontier_emission_equals_filtered_estimate(
+        self, problem, lag
+    ):
+        fls = FixedLagSmoother(
+            problem.state_dims[0],
+            lag,
+            prior=(problem.prior.mean, problem.prior.cov_matrix()),
+        )
+        drive(fls, problem)
+        mean_f, cov_f = fls.estimate()
+        last = fls.finalize()[-1]
+        assert last.index == problem.k
+        assert np.allclose(last.mean, mean_f, atol=1e-8)
+        assert np.allclose(last.cov, cov_f, atol=1e-8)
+
+    @given(problems)
+    @settings(max_examples=8)
+    def test_lag_at_least_stream_length_is_exact_everywhere(
+        self, problem
+    ):
+        """Degenerate fixed lag >= k: nothing ever leaves the window,
+        so every emission equals the full batch smooth."""
+        _fls, emissions = serve(problem, problem.n_states + 1)
+        full = OddEvenSmoother().smooth(problem)
+        for em in emissions:
+            assert np.allclose(em.mean, full.means[em.index], atol=1e-8)
+
+
+class TestFixedLagApi:
+    def test_per_step_cost_is_bounded_by_lag(self):
+        """The window (and hence per-step work) never exceeds lag + 1
+        states, however long the stream runs."""
+        fls = FixedLagSmoother(2, lag=5, prior=(np.zeros(2), np.eye(2)))
+        rng = np.random.default_rng(0)
+        for i in range(200):
+            if i > 0:
+                fls.evolve(F=0.95 * np.eye(2))
+            fls.observe(np.eye(2), rng.standard_normal(2))
+            assert fls.window_size <= 6
+        assert fls.current_index == 199
+        # Auto-emit triggers on evolve, so after the last observe the
+        # window still holds lag + 1 states; finalize emits them all.
+        assert len(fls.emissions()) == 194
+        assert len(fls.finalize()) == 6
+
+    def test_rejects_bad_lag(self):
+        with pytest.raises(ValueError, match="lag"):
+            FixedLagSmoother(2, lag=0)
+
+    def test_closed_after_finalize(self):
+        fls = FixedLagSmoother(1, lag=2, prior=(np.zeros(1), np.eye(1)))
+        fls.observe(np.eye(1), np.ones(1))
+        fls.finalize()
+        with pytest.raises(RuntimeError, match="finalized"):
+            fls.evolve(F=np.eye(1))
+
+    def test_deferred_mode_does_not_emit_on_evolve(self):
+        fls = FixedLagSmoother(
+            1, lag=1, prior=(np.zeros(1), np.eye(1)), auto_emit=False
+        )
+        rng = np.random.default_rng(1)
+        for i in range(4):
+            if i > 0:
+                fls.evolve(F=np.eye(1))
+            fls.observe(np.eye(1), rng.standard_normal(1))
+        assert fls.pending_emissions() == 3
+        assert fls.emissions() == []
+        emitted = fls.flush_window()
+        assert [e.index for e in emitted] == [0, 1, 2]
+        assert fls.window_size == 1
+
+    def test_absorb_window_result_validates_length(self):
+        from repro.kalman.result import SmootherResult
+
+        fls = FixedLagSmoother(
+            1, lag=1, prior=(np.zeros(1), np.eye(1)), auto_emit=False
+        )
+        fls.observe(np.eye(1), np.ones(1))
+        bad = SmootherResult(means=[np.zeros(1), np.zeros(1)])
+        with pytest.raises(ValueError, match="window holds"):
+            fls.absorb_window_result(bad)

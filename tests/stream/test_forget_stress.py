@@ -1,0 +1,132 @@
+"""Seeded stress test: forget/rollup interaction with batched kernels.
+
+Drives 110 randomized schedules that interleave ``evolve``/``observe``/
+``forget`` on an :class:`~repro.kalman.ultimate.UltimateKalman`
+timeline (random dimensions, lengths, covariances, missing
+observations, varying forget windows — some schedules forget several
+times).  Every surviving window problem — whose first step carries the
+rolled-up summary observation — is then cross-checked against a
+from-scratch batch solve of the original full problem, two ways:
+
+* all 110 heterogeneous window problems through **one**
+  ``BatchSmoother.smooth_many`` call (stacked kernels over
+  summary-headed windows, mixed shapes exercising the bucketing), and
+* a sequential :func:`~repro.core.window.solve_window` spot check.
+
+The rolled-up boundary pair must be a sufficient summary under any
+schedule: window smoothing equals the tail of full-history smoothing.
+"""
+
+import numpy as np
+
+from repro.batch import BatchSmoother
+from repro.core.smoother import OddEvenSmoother
+from repro.core.window import rollup_prefix, solve_window
+from repro.kalman.ultimate import UltimateKalman
+from repro.model.generators import random_problem
+
+N_SCHEDULES = 110
+
+
+def run_schedule(case: int, rng: np.random.Generator):
+    """One randomized evolve/observe/forget interleaving.
+
+    Returns ``(original_problem, window_problem, first_index)``.
+    """
+    dims = int(rng.integers(1, 4))
+    k = int(rng.integers(5, 19))
+    problem = random_problem(
+        k=k,
+        seed=10_000 + case,
+        dims=dims,
+        random_cov=bool(rng.integers(0, 2)),
+        obs_prob=0.85,
+    )
+    uk = UltimateKalman(
+        dims, prior=(problem.prior.mean, problem.prior.cov_matrix())
+    )
+    s0 = problem.steps[0]
+    if s0.observation is not None:
+        uk.observe_step(s0.observation)
+    for step in problem.steps[1:]:
+        uk.evolve_step(step.evolution)
+        if step.observation is not None:
+            uk.observe_step(step.observation)
+        # Forget at random points mid-stream, with random windows —
+        # including repeatedly, and right after an unobserved step.
+        if rng.uniform() < 0.25:
+            uk.forget(keep_last=int(rng.integers(1, 7)))
+    return problem, uk.problem(), uk.first_index
+
+
+class TestForgetRollupStress:
+    def test_batched_window_solves_match_from_scratch(self):
+        rng = np.random.default_rng(20260729)
+        originals, windows, firsts = [], [], []
+        for case in range(N_SCHEDULES):
+            problem, window, first = run_schedule(case, rng)
+            originals.append(problem)
+            windows.append(window)
+            firsts.append(first)
+        # Sanity: the schedules actually forgot things.
+        assert sum(1 for f in firsts if f > 0) > N_SCHEDULES // 2
+
+        smoother = OddEvenSmoother()
+        fulls = [smoother.smooth(p) for p in originals]
+
+        # One stacked call over all 110 heterogeneous windows.
+        results = BatchSmoother().smooth_many(windows)
+        for case, (result, full, first) in enumerate(
+            zip(results, fulls, firsts)
+        ):
+            assert len(result.means) == len(full.means) - first
+            for j, (mean, cov) in enumerate(
+                zip(result.means, result.covariances)
+            ):
+                assert np.allclose(
+                    mean, full.means[first + j], atol=1e-8
+                ), (case, j)
+                assert np.allclose(
+                    cov, full.covariances[first + j], atol=1e-8
+                ), (case, j)
+
+        # Sequential spot check on a subset: the same windows through
+        # the non-batched window solver.
+        for case in range(0, N_SCHEDULES, 13):
+            result = solve_window(
+                windows[case], first_index=firsts[case]
+            )
+            full, first = fulls[case], firsts[case]
+            for j, mean in enumerate(result.means):
+                assert np.allclose(
+                    mean, full.means[first + j], atol=1e-8
+                ), (case, j)
+
+    def test_forget_window_equals_from_scratch_rollup(self):
+        """The incremental forget path and the from-scratch
+        :func:`rollup_prefix` must yield windows whose smooths agree —
+        batched together in one stacked call."""
+        rng = np.random.default_rng(42)
+        pairs = []
+        for case in range(1000, 1024):
+            _problem, window, first = run_schedule(case, rng)
+            if first == 0:
+                continue
+            pairs.append((_problem, window, first))
+        assert len(pairs) >= 8
+        batch = BatchSmoother()
+        forget_windows = [w for _, w, _ in pairs]
+        rollup_windows = [
+            rollup_prefix(p, first) for p, _, first in pairs
+        ]
+        results = batch.smooth_many(forget_windows + rollup_windows)
+        n = len(pairs)
+        for i in range(n):
+            res_forget, res_rollup = results[i], results[n + i]
+            assert len(res_forget.means) == len(res_rollup.means)
+            for a, b in zip(res_forget.means, res_rollup.means):
+                assert np.allclose(a, b, atol=1e-8), i
+            for a, b in zip(
+                res_forget.covariances, res_rollup.covariances
+            ):
+                assert np.allclose(a, b, atol=1e-8), i

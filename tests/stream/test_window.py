@@ -1,0 +1,113 @@
+"""Tests for the core window rollup + sequential window solve."""
+
+import numpy as np
+import pytest
+
+from repro.core.smoother import OddEvenSmoother
+from repro.core.window import filtered_pair, rollup_prefix, solve_window
+from repro.errors import UnobservableStateError
+from repro.kalman.kf import KalmanFilter
+from repro.model.generators import random_problem
+from repro.model.problem import StateSpaceProblem
+from repro.model.steps import Evolution, Observation, Step
+
+
+class TestFilteredPair:
+    @pytest.mark.parametrize("index", [0, 3, 9])
+    def test_information_matrix_matches_filter_covariance(self, index):
+        """R^T R must equal the inverse filtered covariance at the
+        state (the pair is the filtered estimate in square-root
+        information form)."""
+        p = random_problem(k=9, seed=index, dims=3, random_cov=True)
+        r, z = filtered_pair(p, index)
+        assert r.shape == (3, 3)
+        filt = KalmanFilter().filter(p.subproblem(index))
+        info = np.linalg.inv(filt.covariances[-1])
+        assert np.allclose(r.T @ r, info, atol=1e-8 * np.abs(info).max())
+        mean = np.linalg.solve(r.T @ r, r.T @ z)
+        assert np.allclose(mean, filt.means[-1], atol=1e-8)
+
+    def test_undetermined_state_returns_short_pair(self):
+        # No prior, a single 1-row observation of a 3-d state: only
+        # one constraint row exists, and that is what comes back.
+        steps = [
+            Step(
+                state_dim=3,
+                observation=Observation(G=np.ones((1, 3)), o=np.ones(1)),
+            )
+        ]
+        r, z = filtered_pair(StateSpaceProblem(steps), 0)
+        assert r.shape == (1, 3)
+        assert z.shape == (1,)
+
+    def test_rejects_out_of_range_index(self):
+        p = random_problem(k=3, seed=0)
+        with pytest.raises(ValueError, match="index"):
+            filtered_pair(p, 7)
+
+
+class TestRollupPrefix:
+    @pytest.mark.parametrize("first_kept", [1, 4, 8])
+    def test_window_smooth_equals_full_tail(
+        self, first_kept, assert_blocks_close
+    ):
+        p = random_problem(k=10, seed=first_kept, dims=3, random_cov=True)
+        full = OddEvenSmoother().smooth(p)
+        window = rollup_prefix(p, first_kept)
+        assert window.n_states == 11 - first_kept
+        assert window.prior is None
+        result = solve_window(window, first_index=first_kept)
+        assert_blocks_close(
+            result.means, full.means[first_kept:], tol=1e-8, what="means"
+        )
+        assert_blocks_close(
+            result.covariances,
+            full.covariances[first_kept:],
+            tol=1e-8,
+            what="covariances",
+        )
+
+    def test_zero_prefix_is_identity(self):
+        p = random_problem(k=4, seed=2)
+        assert rollup_prefix(p, 0) is p
+
+    def test_varying_dimensions(self, assert_blocks_close):
+        p = random_problem(k=6, seed=3, dims=[2, 3, 3, 2, 4, 4, 3])
+        full = OddEvenSmoother().smooth(p)
+        result = solve_window(rollup_prefix(p, 3), first_index=3)
+        assert_blocks_close(result.means, full.means[3:], tol=1e-8)
+
+
+class TestSolveWindow:
+    def test_matches_oddeven_on_whole_problem(self, assert_blocks_close):
+        p = random_problem(k=12, seed=4, dims=3, random_cov=True)
+        full = OddEvenSmoother().smooth(p)
+        win = solve_window(p)
+        assert_blocks_close(win.means, full.means, tol=1e-9)
+        assert_blocks_close(win.covariances, full.covariances, tol=1e-9)
+        assert win.residual_sq == pytest.approx(
+            full.residual_sq, rel=1e-8, abs=1e-10
+        )
+
+    def test_nc_variant_skips_covariances(self):
+        p = random_problem(k=5, seed=5)
+        win = solve_window(p, compute_covariance=False)
+        assert win.covariances is None
+        assert win.algorithm.endswith("-nc")
+
+    def test_unobservable_window_names_global_steps(self):
+        # Unobservable: no prior and only a 1-row observation of a
+        # 2-d state chain.
+        steps = [
+            Step(
+                state_dim=2,
+                observation=Observation(G=np.eye(1, 2), o=np.zeros(1)),
+            ),
+            Step(state_dim=2, evolution=Evolution(F=np.eye(2))),
+        ]
+        p = StateSpaceProblem(steps)
+        with pytest.raises(UnobservableStateError, match=r"\[7, 8\]"):
+            solve_window(p, first_index=7)
+        # And it is catchable as a plain ValueError.
+        with pytest.raises(ValueError):
+            solve_window(p, first_index=7)
