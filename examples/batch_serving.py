@@ -43,17 +43,21 @@ def main() -> None:
             f"  dim={bucket.signature[0][0]}"
         )
 
-    # Serve the tray: one batched smoother call.
-    smoother = repro.BatchSmoother()
+    # Serve the tray: one batched smoother call through the unified
+    # surface (constructed by registry name; capability flag
+    # ``batched=True`` marks its smooth_many as natively stacked).
+    smoother = repro.make_smoother("batch-odd-even")
+    assert smoother.capabilities.batched
     t0 = time.perf_counter()
     results = smoother.smooth_many(problems)
     t_batch = time.perf_counter() - t0
     print(f"\nbatched    : {len(problems) / t_batch:8.1f} sequences/sec")
 
-    # The naive serving loop, for comparison.
-    per_seq = repro.OddEvenSmoother()
+    # The naive serving loop, for comparison — same surface, the
+    # per-sequence smoother's smooth_many is the default loop.
+    per_seq = repro.make_smoother("odd-even")
     t0 = time.perf_counter()
-    loop_results = [per_seq.smooth(p) for p in problems]
+    loop_results = per_seq.smooth_many(problems)
     t_loop = time.perf_counter() - t0
     print(f"per-seq    : {len(problems) / t_loop:8.1f} sequences/sec")
     print(f"speedup    : {t_loop / t_batch:8.2f}x")

@@ -27,27 +27,28 @@ def unknown_initial_state() -> None:
     problem = random_problem(k=50, seed=3, dims=4, with_prior=False)
     assert problem.prior is None
 
+    # The registry's capability flags say up front which algorithms
+    # admit a prior-less problem — no need to try and catch.
     oracle = dense_solve(problem)
-    for name, smoother in [
-        ("odd-even", repro.OddEvenSmoother()),
-        ("paige-saunders", repro.PaigeSaundersSmoother()),
-    ]:
-        result = smoother.smooth(problem)
+    for name in repro.registered_smoothers():
+        spec = repro.smoother_spec(name)
+        reason = spec.capabilities.admits(problem)
+        if reason is not None:
+            print(f"  {name:20s} inadmissible: {reason}")
+            continue
+        result = repro.make_smoother(name).smooth(problem)
         err = max(
             float(np.max(np.abs(a - b)))
             for a, b in zip(result.means, oracle)
         )
-        print(f"  {name:16s} solved, max error vs oracle {err:.2e}")
+        print(f"  {name:20s} solved, max error vs oracle {err:.2e}")
 
-    for name, smoother in [
-        ("kalman-rts", repro.RTSSmoother()),
-        ("associative", repro.AssociativeSmoother()),
-    ]:
-        try:
-            smoother.smooth(problem)
-            raise AssertionError("should have refused")
-        except ValueError as exc:
-            print(f"  {name:16s} refused: {str(exc)[:60]}...")
+    # And the flags are enforced: a needs_prior smoother refuses.
+    try:
+        repro.make_smoother("kalman-rts").smooth(problem)
+        raise AssertionError("should have refused")
+    except ValueError as exc:
+        print(f"  kalman-rts raises: {str(exc)[:60]}...")
 
 
 def growing_state() -> None:

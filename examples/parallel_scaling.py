@@ -26,7 +26,9 @@ def main() -> None:
     print(f"recording one Odd-Even run on {problem} ...")
 
     backend = RecordingBackend(block_size=1)
-    repro.OddEvenSmoother().smooth(problem, backend=backend)
+    repro.make_smoother("odd-even").smooth(
+        problem, config=repro.EstimatorConfig(backend=backend)
+    )
     graph = backend.graph
     print(
         f"recorded {graph.n_tasks} tasks in {len(graph.phases)} phases; "

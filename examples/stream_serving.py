@@ -95,7 +95,7 @@ def main() -> None:
     # The trailing LAG estimates of each stream carry no approximation
     # at all; earlier ones condition on >= LAG steps of future data.
     worst = 0.0
-    smoother = repro.OddEvenSmoother()
+    smoother = repro.make_smoother("odd-even")
     for sid in (0, 1, 2):
         full = smoother.smooth(problems[sid])
         for e in emitted[sid][-LAG:]:

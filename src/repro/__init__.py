@@ -7,15 +7,42 @@ Särkkä–García-Fernández baselines, a TBB-like parallel runtime with
 calibrated machine simulation, and the full benchmark harness for every
 table and figure in the paper's evaluation.
 
-Quickstart::
+Every estimator presents one surface (see :mod:`repro.api`)::
 
     import repro
 
     problem = repro.random_orthonormal_problem(n=6, k=1000, seed=0)
-    result = repro.OddEvenSmoother().smooth(problem)
+    smoother = repro.make_smoother("odd-even")
+    result = smoother.smooth(problem)
     print(result.means[0], result.covariances[0])
+
+    config = repro.EstimatorConfig(compute_covariance=False)
+    repro.make_smoother("batch-odd-even").smooth_many(
+        [problem], config=config
+    )
+
+``repro.registered_smoothers()`` lists every algorithm — linear,
+batched, and nonlinear — and ``repro.smoother_spec(name).capabilities``
+tells a driver what each one supports.
 """
 
+import warnings as _warnings
+
+from .api import (
+    Capabilities,
+    EstimatorConfig,
+    Smoother,
+    SmootherBase,
+    SmootherRegistry,
+    SmootherSpec,
+    call_smoother,
+    call_smoother_many,
+    default_registry,
+    make_smoother,
+    register_smoother,
+    registered_smoothers,
+    smoother_spec,
+)
 from .batch import BatchSmoother
 from .core import (
     NormalEquationsSmoother,
@@ -36,6 +63,7 @@ from .kalman import (
     RTSSmoother,
     SmootherResult,
     UltimateKalman,
+    UltimateSmoother,
 )
 from .model import (
     Evolution,
@@ -44,6 +72,7 @@ from .model import (
     Observation,
     StateSpaceProblem,
     Step,
+    as_nonlinear,
     constant_velocity_problem,
     dense_covariance,
     dense_solve,
@@ -51,6 +80,11 @@ from .model import (
     random_orthonormal_problem,
     random_problem,
     tracking_2d_problem,
+)
+from .nonlinear import (
+    GaussNewtonSmoother,
+    LevenbergMarquardtSmoother,
+    extended_kalman_filter,
 )
 from .parallel import (
     E5_2699V3,
@@ -65,16 +99,49 @@ from .parallel import (
 )
 from .stream import Emission, FixedLagSmoother, StreamServer, StreamStep
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-ALL_SMOOTHERS = {
-    "odd-even": OddEvenSmoother,
-    "paige-saunders": PaigeSaundersSmoother,
-    "kalman-rts": RTSSmoother,
-    "associative": AssociativeSmoother,
-}
+
+# The historical four-entry dict, cached so repeated accesses keep the
+# old module-attribute identity (and mutations persist, as before).
+_ALL_SMOOTHERS_COMPAT: dict | None = None
+
+
+def __getattr__(name: str):
+    if name == "ALL_SMOOTHERS":
+        _warnings.warn(
+            "repro.ALL_SMOOTHERS is deprecated; use "
+            "repro.registered_smoothers() to list algorithms and "
+            "repro.make_smoother(name) to construct them",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        global _ALL_SMOOTHERS_COMPAT
+        if _ALL_SMOOTHERS_COMPAT is None:
+            _ALL_SMOOTHERS_COMPAT = {
+                "odd-even": OddEvenSmoother,
+                "paige-saunders": PaigeSaundersSmoother,
+                "kalman-rts": RTSSmoother,
+                "associative": AssociativeSmoother,
+            }
+        return _ALL_SMOOTHERS_COMPAT
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
+    "Capabilities",
+    "EstimatorConfig",
+    "Smoother",
+    "SmootherBase",
+    "SmootherRegistry",
+    "SmootherSpec",
+    "call_smoother",
+    "call_smoother_many",
+    "default_registry",
+    "make_smoother",
+    "register_smoother",
+    "registered_smoothers",
+    "smoother_spec",
     "BatchSmoother",
     "NormalEquationsSmoother",
     "OddEvenR",
@@ -96,12 +163,17 @@ __all__ = [
     "RTSSmoother",
     "SmootherResult",
     "UltimateKalman",
+    "UltimateSmoother",
+    "GaussNewtonSmoother",
+    "LevenbergMarquardtSmoother",
+    "extended_kalman_filter",
     "Evolution",
     "GaussianPrior",
     "NonlinearProblem",
     "Observation",
     "StateSpaceProblem",
     "Step",
+    "as_nonlinear",
     "constant_velocity_problem",
     "dense_covariance",
     "dense_solve",
@@ -118,6 +190,8 @@ __all__ = [
     "greedy_schedule",
     "work_stealing_schedule",
     "worker_pool",
-    "ALL_SMOOTHERS",
+    # NOTE: the deprecated ALL_SMOOTHERS alias is reachable as an
+    # attribute (with a DeprecationWarning) but deliberately NOT in
+    # __all__ — star imports must not trip the warning.
     "__version__",
 ]

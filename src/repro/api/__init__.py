@@ -1,0 +1,58 @@
+"""repro.api — the unified estimator surface.
+
+The paper's thesis is that one least-squares formulation unifies the
+Kalman filtering/smoothing variants behind orthogonal transformations
+(Gargir & Toledo 2025), and the UltimateKalman line of work shows the
+value of one flexible front-end over that machinery (Toledo 2022).
+This package is that front-end for the whole repository:
+
+* :class:`EstimatorConfig` — one frozen value for execution options
+  (``backend``, ``compute_covariance``, ``dtype``, ``pad``) with a
+  single resolution path;
+* :class:`Smoother` / :class:`SmootherBase` — the protocol and ABC
+  giving every algorithm the canonical ``smooth`` / ``smooth_many``
+  surface (with deprecation shims for the old per-call kwargs);
+* :class:`Capabilities` — per-algorithm functionality flags (paper
+  §6's table as data), enforced at call time;
+* :class:`SmootherRegistry` / :func:`make_smoother` /
+  :func:`register_smoother` — the extensible catalog superseding the
+  hand-maintained ``ALL_SMOOTHERS`` dict.
+"""
+
+from .base import (
+    Capabilities,
+    Smoother,
+    SmootherBase,
+    call_smoother,
+    call_smoother_many,
+    warn_deprecated,
+)
+from .config import EstimatorConfig
+from .registry import (
+    SmootherRegistry,
+    SmootherSpec,
+    coerce_smoother,
+    default_registry,
+    make_smoother,
+    register_smoother,
+    registered_smoothers,
+    smoother_spec,
+)
+
+__all__ = [
+    "Capabilities",
+    "EstimatorConfig",
+    "Smoother",
+    "SmootherBase",
+    "SmootherRegistry",
+    "SmootherSpec",
+    "call_smoother",
+    "call_smoother_many",
+    "coerce_smoother",
+    "default_registry",
+    "make_smoother",
+    "register_smoother",
+    "registered_smoothers",
+    "smoother_spec",
+    "warn_deprecated",
+]

@@ -1,0 +1,352 @@
+"""The uniform estimator surface: protocol, capabilities, and base class.
+
+Every smoother in the package — the paper's odd-even algorithm, the
+sequential and conventional baselines, the batched subsystem, and the
+nonlinear iterated smoothers — presents the same two entry points:
+
+    ``smooth(problem, *, config=None)``
+    ``smooth_many(problems, *, config=None)``
+
+:class:`SmootherBase` implements the shared plumbing once: legacy
+keyword shims (the pre-``repro.api`` ``backend=``/``compute_covariance=``
+call kwargs keep working behind a :class:`DeprecationWarning`),
+configuration resolution through
+:meth:`~repro.api.config.EstimatorConfig.resolve`, capability
+validation, and a default ``smooth_many`` that loops — so every
+algorithm, not just :class:`~repro.batch.BatchSmoother`, can serve
+batch benches and the stream server's micro-batcher.  Subclasses
+implement one hook, ``_smooth(problem, config)``, and receive a fully
+resolved config.
+
+:class:`Capabilities` is the single source of truth for what each
+algorithm can do (paper §6's functionality table, as data): whether it
+needs a prior, can skip the covariance phase (the NC variant), handles
+rectangular/dimension-changing ``H_i``, or batches natively.  The
+canonical ``config=`` path *enforces* these flags with clear
+``ValueError``\\ s; only the deprecated legacy kwargs retain the old
+lenient behavior (e.g. RTS silently hiding covariances).
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+import warnings
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, ClassVar, Protocol
+
+import numpy as np
+
+from .config import EstimatorConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..kalman.result import SmootherResult
+
+__all__ = [
+    "Capabilities",
+    "Smoother",
+    "SmootherBase",
+    "call_smoother",
+    "call_smoother_many",
+    "warn_deprecated",
+]
+
+
+@dataclass(frozen=True)
+class Capabilities:
+    """What one smoothing algorithm supports (paper §6, as data).
+
+    ``needs_prior``
+        Requires a Gaussian prior on the initial state (the
+        conventional RTS/associative family); ``False`` means the
+        unknown-initial-state workflow is supported.
+    ``supports_nc``
+        Can *skip* the covariance phase (the paper's NC variants).
+        Algorithms that carry covariances intrinsically (RTS,
+        associative scans) cannot.
+    ``supports_rectangular_obs``
+        Handles rectangular/dimension-changing ``H_i`` (and with it
+        non-uniform state dimensions) — QR-family only.
+    ``batched``
+        ``smooth_many`` runs stacked kernels rather than the default
+        per-problem loop.
+    ``means_only``
+        Never produces covariances at all (the normal-equations
+        ablation); requesting them is an error.
+    ``iterative``
+        Solves by iterated linearization and accepts
+        :class:`~repro.model.nonlinear.NonlinearProblem` inputs
+        natively (linear problems are lifted automatically).
+    """
+
+    needs_prior: bool = False
+    supports_nc: bool = True
+    supports_rectangular_obs: bool = True
+    batched: bool = False
+    means_only: bool = False
+    iterative: bool = False
+
+    def admits(self, problem: Any) -> str | None:
+        """Why ``problem`` falls outside this envelope (``None`` = fits).
+
+        Conservative by design: it only admits problems every flagged
+        constraint provably tolerates, so registry-driven sweeps (the
+        agreement suite, serving fleets) can dispatch on it safely.
+        """
+        if not self.iterative:
+            from ..model.nonlinear import NonlinearProblem
+
+            if isinstance(problem, NonlinearProblem):
+                return (
+                    "needs an iterative smoother (nonlinear problem "
+                    "input)"
+                )
+        if self.needs_prior and getattr(problem, "prior", None) is None:
+            return "needs a Gaussian prior on the initial state"
+        if not self.supports_rectangular_obs:
+            uniform = getattr(problem, "has_uniform_dims", None)
+            if callable(uniform) and not uniform():
+                return "needs a uniform state dimension (no rectangular H_i)"
+            identity = getattr(problem, "all_h_identity", None)
+            if callable(identity) and not identity():
+                return "needs identity H_i"
+        return None
+
+
+class Smoother(Protocol):
+    """The estimator protocol every registered smoother satisfies."""
+
+    name: str
+    capabilities: Capabilities
+
+    def smooth(self, problem, *, config: EstimatorConfig | None = None):
+        """Smooth one problem."""
+        ...  # pragma: no cover - protocol
+
+    def smooth_many(self, problems, *, config: EstimatorConfig | None = None):
+        """Smooth a workload of independent problems, order preserved."""
+        ...  # pragma: no cover - protocol
+
+
+def warn_deprecated(message: str) -> None:
+    """Emit a :class:`DeprecationWarning` attributed to user code.
+
+    ``stacklevel`` is computed by walking past every frame inside the
+    ``repro`` package, so the warning names the caller's line even
+    when the deprecated entry point is reached through subclass
+    overrides (e.g. the Gauss–Newton ``smooth`` wrapper) — and
+    per-location deduplication then reports each call site separately.
+    """
+    import os
+    import sys
+
+    package_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    level = 2  # caller of warn_deprecated
+    frame = sys._getframe(1)
+    while frame is not None and frame.f_code.co_filename.startswith(
+        package_root
+    ):
+        frame = frame.f_back
+        level += 1
+    warnings.warn(message, DeprecationWarning, stacklevel=level)
+
+
+def _cast_result(result: "SmootherResult", dtype: Any) -> "SmootherResult":
+    """Apply an ``EstimatorConfig.dtype`` request to a result's arrays."""
+    if dtype is None:
+        return result
+    means = [np.asarray(m, dtype=dtype) for m in result.means]
+    covariances = (
+        None
+        if result.covariances is None
+        else [np.asarray(c, dtype=dtype) for c in result.covariances]
+    )
+    return dataclasses.replace(result, means=means, covariances=covariances)
+
+
+class SmootherBase(abc.ABC):
+    """ABC providing the canonical surface over one ``_smooth`` hook."""
+
+    #: registry name of the algorithm (instances may specialize it)
+    name: ClassVar[str] = "smoother"
+    #: capability flags (instances may specialize, e.g. per method)
+    capabilities: Capabilities = Capabilities()
+
+    # ------------------------------------------------------------------
+    # canonical surface
+    # ------------------------------------------------------------------
+    @property
+    def default_config(self) -> EstimatorConfig:
+        """Instance-level defaults (constructor options as a config)."""
+        return EstimatorConfig()
+
+    def smooth(
+        self,
+        problem,
+        backend=None,
+        compute_covariance: bool | None = None,
+        *,
+        config: EstimatorConfig | None = None,
+        **options,
+    ) -> "SmootherResult":
+        """Smooth ``problem`` under ``config``.
+
+        ``backend``/``compute_covariance`` are the deprecated
+        pre-``repro.api`` call kwargs; they keep working (with a
+        :class:`DeprecationWarning`) so existing callers are not
+        broken, but new code should pass
+        ``config=EstimatorConfig(...)``.
+        """
+        config, legacy = self._shim_legacy(backend, compute_covariance, config)
+        resolved = self._resolve(problem, config, legacy=legacy)
+        return _cast_result(
+            self._smooth(problem, resolved, **options), resolved.dtype
+        )
+
+    def smooth_many(
+        self,
+        problems,
+        backend=None,
+        *,
+        config: EstimatorConfig | None = None,
+    ) -> "list[SmootherResult]":
+        """Smooth every problem; results are in the caller's order.
+
+        The default implementation loops over :meth:`smooth`, so every
+        algorithm serves batched workloads; natively batched smoothers
+        override it with stacked kernels.
+        """
+        config, _legacy = self._shim_legacy(backend, None, config)
+        return [self.smooth(p, config=config) for p in problems]
+
+    # ------------------------------------------------------------------
+    # the one subclass hook
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _smooth(
+        self, problem, config: EstimatorConfig, **options
+    ) -> "SmootherResult":
+        """Solve one problem under a fully resolved config."""
+
+    # ------------------------------------------------------------------
+    # shared plumbing
+    # ------------------------------------------------------------------
+    def _shim_legacy(
+        self,
+        backend,
+        compute_covariance: bool | None,
+        config: EstimatorConfig | None,
+    ) -> tuple[EstimatorConfig, bool]:
+        """Fold deprecated call kwargs into a config, warning once."""
+        legacy = backend is not None or compute_covariance is not None
+        if legacy:
+            if config is not None:
+                raise TypeError(
+                    "pass either the deprecated backend=/"
+                    "compute_covariance= kwargs or config=, not both"
+                )
+            warn_deprecated(
+                f"passing backend=/compute_covariance= to "
+                f"{type(self).__name__}.smooth/.smooth_many is deprecated; "
+                "pass config=repro.EstimatorConfig(backend=..., "
+                "compute_covariance=...) instead"
+            )
+            config = EstimatorConfig(
+                backend=backend, compute_covariance=compute_covariance
+            )
+        return config or EstimatorConfig(), legacy
+
+    def _resolve(
+        self,
+        problem,
+        config: EstimatorConfig,
+        *,
+        legacy: bool = False,
+    ) -> EstimatorConfig:
+        """Resolve the config and enforce the capability flags.
+
+        On the canonical ``config=`` path the flags are authoritative
+        and violations raise ``ValueError``; the deprecated kwarg path
+        keeps the historical lenient behavior (hide-only covariance
+        flags, ``NotImplementedError`` from the ablation smoother) so
+        pre-``repro.api`` callers see exactly what they used to.
+        """
+        caps = self.capabilities
+        resolved = config.resolve(
+            self.default_config,
+            default_compute_covariance=not caps.means_only,
+        )
+        if caps.means_only and resolved.compute_covariance:
+            if legacy:
+                raise NotImplementedError(
+                    f"the {self.name} smoother computes means only"
+                )
+            raise ValueError(
+                f"smoother {self.name!r} computes means only (capability "
+                "means_only=True); compute_covariance=True is not available"
+            )
+        if (
+            not caps.supports_nc
+            and resolved.compute_covariance is False
+            and not legacy
+        ):
+            raise ValueError(
+                f"smoother {self.name!r} cannot skip the covariance "
+                "computation (capability supports_nc=False): the backward "
+                "recursion/scan carries the covariances intrinsically "
+                "(paper §5.4) — use a QR-family smoother for the NC variant"
+            )
+        if (
+            problem is not None
+            and caps.needs_prior
+            and getattr(problem, "prior", None) is None
+        ):
+            raise ValueError(
+                f"smoother {self.name!r} requires a Gaussian prior on the "
+                "initial state (capability needs_prior=True); problems with "
+                "unknown initial expectation need a QR-based smoother such "
+                "as 'odd-even' or 'paige-saunders'"
+            )
+        return resolved
+
+
+def call_smoother(
+    smoother,
+    problem,
+    config: EstimatorConfig | None = None,
+    **options,
+):
+    """Invoke ``smoother.smooth`` across API generations.
+
+    :class:`SmootherBase` instances get the canonical ``config=``
+    keyword; duck-typed legacy smoothers (anything else exposing
+    ``smooth``) get the old ``backend=``/``compute_covariance=`` kwargs
+    for whichever fields the config sets.  First-party callers route
+    through here so injected third-party estimators keep working.
+    """
+    if isinstance(smoother, SmootherBase):
+        return smoother.smooth(problem, config=config, **options)
+    kwargs: dict[str, Any] = {}
+    if config is not None:
+        if config.backend is not None:
+            kwargs["backend"] = config.backend
+        if config.compute_covariance is not None:
+            kwargs["compute_covariance"] = config.compute_covariance
+    return smoother.smooth(problem, **kwargs, **options)
+
+
+def call_smoother_many(
+    smoother,
+    problems,
+    config: EstimatorConfig | None = None,
+):
+    """``call_smoother`` for workloads: uniform ``smooth_many`` dispatch.
+
+    Legacy engines get the pre-``repro.api`` shape — a positional
+    backend, passed even when it is ``None``, since that is the
+    signature they were written against.
+    """
+    if isinstance(smoother, SmootherBase):
+        return smoother.smooth_many(problems, config=config)
+    backend = config.backend if config is not None else None
+    return smoother.smooth_many(problems, backend)

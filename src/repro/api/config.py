@@ -1,0 +1,103 @@
+"""The one configuration object shared by every estimator.
+
+Before :mod:`repro.api` existed, execution options were scattered:
+``backend`` was a per-call kwarg on some smoothers, ``compute_covariance``
+lived both in constructors and in call-site overrides, and the batched
+subsystem grew its own ``pad`` knob.  :class:`EstimatorConfig` collects
+them in one immutable value with explicit merge semantics:
+
+* an **unset** field is ``None`` and defers to the next layer;
+* :meth:`merged` lets a call-site config override an instance default;
+* :meth:`resolve` applies the global defaults exactly once — this is
+  the single home of the old ``if backend is None: backend =
+  SerialBackend()`` idiom and of the constructor-vs-call
+  ``compute_covariance`` override logic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any
+
+from ..parallel.backend import Backend, SerialBackend
+
+__all__ = ["EstimatorConfig"]
+
+
+@dataclass(frozen=True)
+class EstimatorConfig:
+    """Execution options for one ``smooth``/``smooth_many`` call.
+
+    Parameters
+    ----------
+    backend:
+        :class:`~repro.parallel.backend.Backend` the heavy phases
+        dispatch through; unset means serial execution.
+    compute_covariance:
+        ``False`` selects the NC variant (skip the covariance phase)
+        where the algorithm supports it; unset means the smoother's
+        default (covariances on, except for means-only algorithms).
+    dtype:
+        Optional NumPy dtype the returned means/covariances are cast
+        to (the solve itself always runs in float64).
+    pad:
+        Batched smoothers only: pad sequences to power-of-two lengths
+        so mixed-length workloads share buckets.  Unset means on.
+    """
+
+    backend: Backend | None = None
+    compute_covariance: bool | None = None
+    dtype: Any = None
+    pad: bool | None = None
+
+    def replace(self, **overrides: Any) -> "EstimatorConfig":
+        """A copy with the given fields replaced (unknown names raise)."""
+        return dataclasses.replace(self, **overrides)
+
+    def merged(self, override: "EstimatorConfig | None") -> "EstimatorConfig":
+        """Layer ``override`` on top of ``self``.
+
+        Every field that is *set* (not ``None``) on ``override`` wins;
+        unset fields fall through to ``self``.  ``None`` is accepted
+        and returns ``self`` unchanged, so defaults chain naturally::
+
+            instance_defaults.merged(call_config)
+        """
+        if override is None:
+            return self
+        updates = {
+            f.name: getattr(override, f.name)
+            for f in dataclasses.fields(self)
+            if getattr(override, f.name) is not None
+        }
+        return dataclasses.replace(self, **updates) if updates else self
+
+    def resolve(
+        self,
+        defaults: "EstimatorConfig | None" = None,
+        *,
+        default_compute_covariance: bool = True,
+    ) -> "EstimatorConfig":
+        """Fill every unset field: the single resolution path.
+
+        Layers ``self`` over ``defaults`` (an estimator's instance
+        configuration), then applies the global defaults — a fresh
+        :class:`~repro.parallel.backend.SerialBackend`, covariances per
+        ``default_compute_covariance``, padding on.  The result has no
+        ``None`` fields except ``dtype`` (whose default *is* "leave
+        the float64 arrays alone").
+        """
+        merged = defaults.merged(self) if defaults is not None else self
+        return EstimatorConfig(
+            backend=(
+                merged.backend if merged.backend is not None else SerialBackend()
+            ),
+            compute_covariance=(
+                default_compute_covariance
+                if merged.compute_covariance is None
+                else merged.compute_covariance
+            ),
+            dtype=merged.dtype,
+            pad=True if merged.pad is None else merged.pad,
+        )

@@ -7,29 +7,37 @@ streams share buckets), smooths each bucket as one stacked elimination
 or scan, and unpacks per-sequence
 :class:`~repro.kalman.result.SmootherResult` objects in the caller's
 order.  All heavy phases dispatch through the standard
-:class:`~repro.parallel.backend.Backend` layer, so the same call runs
-serially, on a thread pool, or under the recording backend whose task
-graph (with batch-scaled kernel costs) the modeled-machine scheduler
-can replay.
+:class:`~repro.parallel.backend.Backend` layer (delivered via
+:class:`~repro.api.EstimatorConfig`), so the same call runs serially,
+on a thread pool, or under the recording backend whose task graph
+(with batch-scaled kernel costs) the modeled-machine scheduler can
+replay.
+
+Unlike the per-sequence smoothers — whose default
+:meth:`~repro.api.SmootherBase.smooth_many` simply loops — this class
+overrides ``smooth_many`` with the stacked kernels (capability flag
+``batched=True``).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..api import Capabilities, EstimatorConfig, SmootherBase
+from ..api.base import _cast_result
 from ..core.oddeven_qr import oddeven_factorize
 from ..core.selinv import selinv_oddeven
 from ..core.solve import oddeven_back_substitute
 from ..kalman.result import SmootherResult
 from ..model.problem import StateSpaceProblem
-from ..parallel.backend import Backend, SerialBackend
+from ..parallel.backend import Backend
 from .associative import batched_associative_smooth
 from .stacking import Bucket, bucket_problems, stack_whitened
 
 __all__ = ["BatchSmoother"]
 
 
-class BatchSmoother:
+class BatchSmoother(SmootherBase):
     """Smooth many independent sequences at once via stacked kernels.
 
     Parameters
@@ -40,7 +48,8 @@ class BatchSmoother:
         block stacks; it needs no prior and supports rectangular
         ``H_i``.  ``"associative"`` runs the batched
         Särkkä–García-Fernández scans; it requires a prior and square
-        ``H_i``, like its per-sequence counterpart.
+        ``H_i``, like its per-sequence counterpart.  The instance's
+        :attr:`capabilities` reflect the chosen method.
     compute_covariance:
         ``False`` skips the SelInv phase of the odd-even method
         (means-only, the NC variant).  The associative method carries
@@ -49,7 +58,8 @@ class BatchSmoother:
         Pad sequences with unobserved steps to power-of-two lengths so
         mixed-length workloads share buckets (exact — see
         :mod:`repro.batch.stacking`).  ``False`` buckets only
-        structurally-identical problems.
+        structurally-identical problems.  A per-call
+        :class:`~repro.api.EstimatorConfig` overrides either option.
 
     Notes
     -----
@@ -58,8 +68,6 @@ class BatchSmoother:
     every recursion level's thousands of tiny QR/solve calls collapse
     into a few stacked LAPACK calls (see ``repro.bench.batch``).
     """
-
-    name = "batch"
 
     def __init__(
         self,
@@ -72,58 +80,98 @@ class BatchSmoother:
                 f"unknown batch method {method!r}; "
                 "expected 'odd-even' or 'associative'"
             )
+        if method == "associative" and not compute_covariance:
+            # Historical leniency: the associative scans carry
+            # covariances intrinsically, so the flag never had an
+            # effect on this method.
+            from ..api import warn_deprecated
+
+            warn_deprecated(
+                "compute_covariance=False has no effect with the "
+                "associative method (capability supports_nc=False) and "
+                "is deprecated; a per-call EstimatorConfig request "
+                "already raises"
+            )
+            compute_covariance = True
         self.method = method
         self.compute_covariance = compute_covariance
         self.pad = pad
+        self.name = f"batch-{method}"
+        self.capabilities = (
+            Capabilities(batched=True)
+            if method == "odd-even"
+            else Capabilities(
+                needs_prior=True,
+                supports_nc=False,
+                supports_rectangular_obs=False,
+                batched=True,
+            )
+        )
+
+    @property
+    def default_config(self) -> EstimatorConfig:
+        return EstimatorConfig(
+            compute_covariance=self.compute_covariance, pad=self.pad
+        )
 
     def smooth_many(
         self,
         problems: list[StateSpaceProblem],
         backend: Backend | None = None,
+        *,
+        config: EstimatorConfig | None = None,
     ) -> list[SmootherResult]:
-        """Smooth every problem; results are in the caller's order."""
-        if backend is None:
-            backend = SerialBackend()
-        results: list[SmootherResult | None] = [None] * len(problems)
-        buckets = bucket_problems(
-            problems,
-            pad=self.pad,
-            exact_obs=(self.method == "associative"),
-        )
-        for bucket in buckets:
-            for idx, result in zip(
-                bucket.indices, self._smooth_bucket(bucket, backend)
-            ):
-                results[idx] = result
-        return results  # type: ignore[return-value]
+        """Smooth every problem in stacked buckets, caller's order."""
+        config, legacy = self._shim_legacy(backend, None, config)
+        resolved = self._resolve(None, config, legacy=legacy)
+        return [
+            _cast_result(r, resolved.dtype)
+            for r in self._smooth_workload(list(problems), resolved)
+        ]
 
-    def smooth(
-        self,
-        problem: StateSpaceProblem,
-        backend: Backend | None = None,
+    def _smooth(
+        self, problem: StateSpaceProblem, config: EstimatorConfig
     ) -> SmootherResult:
-        """Single-problem convenience (a batch of one)."""
-        return self.smooth_many([problem], backend)[0]
+        """Single-problem entry (a batch of one)."""
+        return self._smooth_workload([problem], config)[0]
 
     # ------------------------------------------------------------------
     # per-bucket engines
     # ------------------------------------------------------------------
+    def _smooth_workload(
+        self, problems: list[StateSpaceProblem], config: EstimatorConfig
+    ) -> list[SmootherResult]:
+        results: list[SmootherResult | None] = [None] * len(problems)
+        buckets = bucket_problems(
+            problems,
+            pad=config.pad,
+            exact_obs=(self.method == "associative"),
+        )
+        for bucket in buckets:
+            for idx, result in zip(
+                bucket.indices, self._smooth_bucket(bucket, config)
+            ):
+                results[idx] = result
+        return results  # type: ignore[return-value]
+
     def _smooth_bucket(
-        self, bucket: Bucket, backend: Backend
+        self, bucket: Bucket, config: EstimatorConfig
     ) -> list[SmootherResult]:
         if self.method == "associative":
-            return self._bucket_associative(bucket, backend)
-        return self._bucket_oddeven(bucket, backend)
+            return self._bucket_associative(bucket, config.backend)
+        return self._bucket_oddeven(bucket, config)
 
     def _bucket_oddeven(
-        self, bucket: Bucket, backend: Backend
+        self, bucket: Bucket, config: EstimatorConfig
     ) -> list[SmootherResult]:
+        backend = config.backend
+        want_cov = config.compute_covariance
         white = stack_whitened(bucket.problems)
         try:
             factor = oddeven_factorize(white, backend)
             means = oddeven_back_substitute(factor, backend)
             covs = None
-            if self.compute_covariance:
+            if want_cov:
                 covs = list(selinv_oddeven(factor, backend).diagonal)
         except np.linalg.LinAlgError as exc:
             slices = getattr(exc, "batch_slices", None)
@@ -151,7 +199,7 @@ class BatchSmoother:
                     ),
                     residual_sq=float(residual[b]),
                     algorithm="batch-odd-even"
-                    + ("" if self.compute_covariance else "-nc"),
+                    + ("" if want_cov else "-nc"),
                     diagnostics={
                         "batch": bucket.batch,
                         "levels": factor.depth(),

@@ -19,8 +19,7 @@ Results are persisted to ``results/batch_throughput.json``.
 
 from __future__ import annotations
 
-from ..batch import BatchSmoother
-from ..core.smoother import OddEvenSmoother
+from ..api import make_smoother
 from ..model.generators import random_problem
 from .harness import ascii_curve, format_series_table, median_time, save_results
 
@@ -51,8 +50,10 @@ def batch_throughput(
     wall-clock seconds and derived sequences/sec of both paths plus
     their ratio (``speedup``).
     """
-    per_seq = OddEvenSmoother(compute_covariance=compute_covariance)
-    batched = BatchSmoother(compute_covariance=compute_covariance)
+    per_seq = make_smoother("odd-even", compute_covariance=compute_covariance)
+    batched = make_smoother(
+        "batch-odd-even", compute_covariance=compute_covariance
+    )
     rows = []
     for batch in batch_sizes:
         problems = _workload(batch, k, n)

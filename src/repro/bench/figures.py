@@ -27,11 +27,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.normal_equations import NormalEquationsSmoother
+from ..api import EstimatorConfig, make_smoother
 from ..core.smoother import OddEvenSmoother
-from ..kalman.associative import AssociativeSmoother
-from ..kalman.paige_saunders import PaigeSaundersSmoother
-from ..kalman.rts import RTSSmoother
 from ..linalg.structure import render_ascii, structure_matrix
 from ..model.dense import assemble_dense
 from ..model.generators import (
@@ -79,25 +76,28 @@ def fig1_structure(k: int = 50) -> dict:
     }
 
 
+#: Figure legend label -> (registry name, constructor options, NC?).
+_VARIANT_SPECS = {
+    "Odd-Even": ("odd-even", {}, None),
+    "Odd-Even NC": ("odd-even", {}, False),
+    "Associative": ("associative", {"parallel": True}, None),
+    "Paige-Saunders": ("paige-saunders", {}, None),
+    "Paige-Saunders NC": ("paige-saunders", {}, False),
+    "Kalman": ("kalman-rts", {}, None),
+}
+
+
 def _run_variant(variant: str, problem, backend) -> None:
-    if variant == "Odd-Even":
-        OddEvenSmoother().smooth(problem, backend=backend)
-    elif variant == "Odd-Even NC":
-        OddEvenSmoother(compute_covariance=False).smooth(
-            problem, backend=backend
-        )
-    elif variant == "Associative":
-        AssociativeSmoother(parallel=True).smooth(problem, backend=backend)
-    elif variant == "Paige-Saunders":
-        PaigeSaundersSmoother().smooth(problem, backend=backend)
-    elif variant == "Paige-Saunders NC":
-        PaigeSaundersSmoother(compute_covariance=False).smooth(
-            problem, backend=backend
-        )
-    elif variant == "Kalman":
-        RTSSmoother().smooth(problem, backend=backend)
-    else:  # pragma: no cover - defensive
-        raise ValueError(f"unknown variant {variant!r}")
+    try:
+        name, options, compute_covariance = _VARIANT_SPECS[variant]
+    except KeyError:  # pragma: no cover - defensive
+        raise ValueError(f"unknown variant {variant!r}") from None
+    make_smoother(name, **options).smooth(
+        problem,
+        config=EstimatorConfig(
+            backend=backend, compute_covariance=compute_covariance
+        ),
+    )
 
 
 def record_graph(
@@ -275,9 +275,12 @@ def stability_table(
         ref_obj = problem.objective(reference)
         row: dict[str, float] = {}
         for label, smoother in (
-            ("odd-even", OddEvenSmoother(compute_covariance=False)),
-            ("paige-saunders", PaigeSaundersSmoother(compute_covariance=False)),
-            ("normal-equations", NormalEquationsSmoother()),
+            ("odd-even", make_smoother("odd-even", compute_covariance=False)),
+            (
+                "paige-saunders",
+                make_smoother("paige-saunders", compute_covariance=False),
+            ),
+            ("normal-equations", make_smoother("normal-equations")),
         ):
             try:
                 means = smoother.smooth(problem).means

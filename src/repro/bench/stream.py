@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.smoother import OddEvenSmoother
+from ..api import make_smoother
 from ..kalman.ultimate import UltimateKalman
 from ..model.generators import random_problem
 from ..model.problem import StateSpaceProblem
@@ -146,7 +146,7 @@ def window_accuracy(
     """
     problems = _workload(n_streams, t_steps, n, seed=1000)
     collected = _drive_server(problems, lag, flush_every)
-    smoother = OddEvenSmoother()
+    smoother = make_smoother("odd-even")
     window_error = 0.0
     contract_error = 0.0
     for i, p in enumerate(problems):

@@ -17,10 +17,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..api import Capabilities, EstimatorConfig, SmootherBase
 from ..kalman.result import SmootherResult
 from ..linalg.triangular import instrumented_matmul
 from ..model.problem import StateSpaceProblem, WhitenedProblem
-from ..parallel.backend import Backend, SerialBackend
+from ..parallel.backend import Backend
 from ..parallel.tally import add_cost
 
 __all__ = ["NormalEquationsSmoother", "build_normal_equations"]
@@ -153,30 +154,24 @@ def _cyclic_reduction(
     return [x for x in u]  # type: ignore[return-value]
 
 
-class NormalEquationsSmoother:
+class NormalEquationsSmoother(SmootherBase):
     """The unstable third parallel smoother (means only).
 
     Provided for the §6 stability ablation; production use should
-    prefer :class:`~repro.core.smoother.OddEvenSmoother`.
+    prefer :class:`~repro.core.smoother.OddEvenSmoother`.  The
+    ``means_only`` capability flag makes any covariance request an
+    error through the canonical config path.
     """
 
     name = "normal-equations"
+    capabilities = Capabilities(means_only=True)
 
-    def smooth(
-        self,
-        problem: StateSpaceProblem,
-        backend: Backend | None = None,
-        compute_covariance: bool | None = None,
+    def _smooth(
+        self, problem: StateSpaceProblem, config: EstimatorConfig
     ) -> SmootherResult:
-        if compute_covariance:
-            raise NotImplementedError(
-                "the normal-equations ablation computes means only"
-            )
-        if backend is None:
-            backend = SerialBackend()
         white = problem.whiten()
         diag, sub, rhs = build_normal_equations(white)
-        means = _cyclic_reduction(diag, sub, rhs, backend)
+        means = _cyclic_reduction(diag, sub, rhs, config.backend)
         return SmootherResult(
             means=means,
             covariances=None,

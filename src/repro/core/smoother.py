@@ -13,14 +13,17 @@ factorization with RHS transformation, the recursive back substitution,
 and — unless the NC variant is selected — the parallel SelInv pass for
 the covariance matrices.  Every phase is expressed over an execution
 backend, so the same code runs serially, on a thread pool, or under the
-recording backend that feeds the machine simulator.
+recording backend that feeds the machine simulator; the backend (and
+the covariance switch) arrive through one
+:class:`~repro.api.EstimatorConfig`.
 """
 
 from __future__ import annotations
 
+from ..api import Capabilities, EstimatorConfig, SmootherBase
 from ..kalman.result import SmootherResult
 from ..model.problem import StateSpaceProblem
-from ..parallel.backend import Backend, SerialBackend
+from ..parallel.backend import Backend
 from .oddeven_qr import oddeven_factorize
 from .rfactor import OddEvenR
 from .selinv import selinv_oddeven
@@ -29,7 +32,7 @@ from .solve import oddeven_back_substitute
 __all__ = ["OddEvenSmoother"]
 
 
-class OddEvenSmoother:
+class OddEvenSmoother(SmootherBase):
     """Parallel-in-time Kalman smoother via odd-even QR (paper §3-§4).
 
     Parameters
@@ -38,17 +41,24 @@ class OddEvenSmoother:
         ``False`` selects the NC variant (paper's "Odd-Even NC"):
         skip the SelInv phase, returning means only.  This is the
         configuration used inside Levenberg–Marquardt nonlinear
-        smoothing (§5.4).
+        smoothing (§5.4).  A per-call
+        :class:`~repro.api.EstimatorConfig` overrides it.
 
-    Functional notes (paper §6): no prior on the initial state is
-    required; rectangular ``H_i`` are supported; the noise covariances
-    ``K_i``/``L_i`` must be nonsingular (they are whitened by Cholesky).
+    Functional notes (paper §6, mirrored by :attr:`capabilities`): no
+    prior on the initial state is required; rectangular ``H_i`` are
+    supported; the noise covariances ``K_i``/``L_i`` must be
+    nonsingular (they are whitened by Cholesky).
     """
 
     name = "odd-even"
+    capabilities = Capabilities()
 
     def __init__(self, compute_covariance: bool = True):
         self.compute_covariance = compute_covariance
+
+    @property
+    def default_config(self) -> EstimatorConfig:
+        return EstimatorConfig(compute_covariance=self.compute_covariance)
 
     def factorize(
         self,
@@ -58,20 +68,12 @@ class OddEvenSmoother:
         """Expose the factorization alone (structure studies, Fig 1)."""
         return oddeven_factorize(problem, backend)
 
-    def smooth(
-        self,
-        problem: StateSpaceProblem,
-        backend: Backend | None = None,
-        compute_covariance: bool | None = None,
+    def _smooth(
+        self, problem: StateSpaceProblem, config: EstimatorConfig
     ) -> SmootherResult:
         """Estimate all states (and covariances) of ``problem``."""
-        if backend is None:
-            backend = SerialBackend()
-        want_cov = (
-            self.compute_covariance
-            if compute_covariance is None
-            else compute_covariance
-        )
+        backend = config.backend
+        want_cov = config.compute_covariance
         factor = oddeven_factorize(problem, backend)
         means = oddeven_back_substitute(factor, backend)
         covariances = None

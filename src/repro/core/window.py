@@ -145,14 +145,18 @@ def solve_window(
     """
     # Imported lazily: core.window -> kalman.paige_saunders -> core
     # would otherwise cycle at package-import time.
+    from ..api import EstimatorConfig
     from ..kalman.paige_saunders import PaigeSaundersSmoother
 
     k = problem.k
     span = f"[{first_index}, {first_index + k}]"
     try:
-        result = PaigeSaundersSmoother(
-            compute_covariance=compute_covariance
-        ).smooth(problem, backend)
+        result = PaigeSaundersSmoother().smooth(
+            problem,
+            config=EstimatorConfig(
+                backend=backend, compute_covariance=compute_covariance
+            ),
+        )
     except UnobservableStateError:
         raise
     except np.linalg.LinAlgError as exc:

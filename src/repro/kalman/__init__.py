@@ -15,7 +15,7 @@ from .result import SmootherResult
 from .rts import RTSSmoother
 from .srif import SquareRootInformationFilter, srif_filter
 from .standard_form import StandardStep, to_standard_form
-from .ultimate import UltimateKalman
+from .ultimate import UltimateKalman, UltimateSmoother
 
 __all__ = [
     "AssociativeSmoother",
@@ -38,4 +38,5 @@ __all__ = [
     "StandardStep",
     "to_standard_form",
     "UltimateKalman",
+    "UltimateSmoother",
 ]

@@ -36,6 +36,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..api import Capabilities, EstimatorConfig, SmootherBase
 from ..linalg.triangular import (
     batch_count,
     instrumented_matmul,
@@ -253,8 +254,12 @@ def combine_smoothing(
     return SmoothingElement(e, g, 0.5 * (ell + _t(ell)))
 
 
-class AssociativeSmoother:
+class AssociativeSmoother(SmootherBase):
     """Parallel-in-time smoother via associative scans (ref. [3]).
+
+    The scan elements carry the covariances intrinsically (paper
+    §5.4), so like RTS there is no NC variant:
+    ``capabilities.supports_nc`` is ``False``.
 
     Parameters
     ----------
@@ -265,24 +270,17 @@ class AssociativeSmoother:
     """
 
     name = "associative"
+    capabilities = Capabilities(
+        needs_prior=True, supports_nc=False, supports_rectangular_obs=False
+    )
 
     def __init__(self, parallel: bool = True):
         self.parallel = parallel
 
-    def smooth(
-        self,
-        problem: StateSpaceProblem,
-        backend: Backend | None = None,
-        compute_covariance: bool | None = None,
+    def _smooth(
+        self, problem: StateSpaceProblem, config: EstimatorConfig
     ) -> SmootherResult:
-        """Smooth the trajectory.
-
-        ``compute_covariance=False`` omits covariances from the result
-        but — exactly as the paper notes in §5.4 — cannot save any
-        work: the scan elements carry the covariances intrinsically.
-        """
-        if backend is None:
-            backend = SerialBackend()
+        backend = config.backend
         m0, p0, steps = to_standard_form(
             problem, "the associative smoother"
         )
@@ -323,7 +321,7 @@ class AssociativeSmoother:
 
         means = [s.g for s in smoothed]
         covs = [s.ell for s in smoothed]
-        want_cov = compute_covariance is None or compute_covariance
+        want_cov = config.compute_covariance
         return SmootherResult(
             means=means,
             covariances=covs if want_cov else None,

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..api import Capabilities, EstimatorConfig, SmootherBase
 from ..core.rfactor import BidiagonalR
 from ..core.selinv import selinv_bidiagonal
 from ..linalg.householder import QRFactor
@@ -147,7 +148,7 @@ def _back_substitute(
     return [s for s in states]  # type: ignore[return-value]
 
 
-class PaigeSaundersSmoother:
+class PaigeSaundersSmoother(SmootherBase):
     """Sequential QR smoother with optional covariance phase.
 
     Parameters
@@ -155,27 +156,25 @@ class PaigeSaundersSmoother:
     compute_covariance:
         ``False`` selects the NC variant (paper's "Paige-Saunders NC"),
         which skips the SelInv phase entirely — the configuration used
-        inside Levenberg–Marquardt nonlinear smoothing.
+        inside Levenberg–Marquardt nonlinear smoothing.  A per-call
+        :class:`~repro.api.EstimatorConfig` overrides it.
     """
 
     name = "paige-saunders"
+    capabilities = Capabilities()
 
     def __init__(self, compute_covariance: bool = True):
         self.compute_covariance = compute_covariance
 
-    def smooth(
-        self,
-        problem: StateSpaceProblem,
-        backend: Backend | None = None,
-        compute_covariance: bool | None = None,
+    @property
+    def default_config(self) -> EstimatorConfig:
+        return EstimatorConfig(compute_covariance=self.compute_covariance)
+
+    def _smooth(
+        self, problem: StateSpaceProblem, config: EstimatorConfig
     ) -> SmootherResult:
-        if backend is None:
-            backend = SerialBackend()
-        want_cov = (
-            self.compute_covariance
-            if compute_covariance is None
-            else compute_covariance
-        )
+        backend = config.backend
+        want_cov = config.compute_covariance
         factor = paige_saunders_factorize(problem, backend)
         means = _back_substitute(factor, backend)
         covs = None

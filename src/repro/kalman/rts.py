@@ -17,10 +17,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..api import Capabilities, EstimatorConfig, SmootherBase
 from ..linalg.cholesky import spd_solve
 from ..linalg.triangular import instrumented_matmul
 from ..model.problem import StateSpaceProblem
-from ..parallel.backend import Backend, SerialBackend
 from .kf import KalmanFilter
 from .result import SmootherResult
 from .standard_form import to_standard_form
@@ -28,25 +28,26 @@ from .standard_form import to_standard_form
 __all__ = ["RTSSmoother"]
 
 
-class RTSSmoother:
-    """Forward filter + backward RTS recursion (sequential)."""
+class RTSSmoother(SmootherBase):
+    """Forward filter + backward RTS recursion (sequential).
+
+    Covariances are always produced: the backward recursion itself runs
+    on them (paper §5.4), so there is no NC variant —
+    ``capabilities.supports_nc`` is ``False`` and requesting
+    ``compute_covariance=False`` through an
+    :class:`~repro.api.EstimatorConfig` raises; only the deprecated
+    legacy kwarg retains the old hide-only behavior.
+    """
 
     name = "kalman-rts"
+    capabilities = Capabilities(
+        needs_prior=True, supports_nc=False, supports_rectangular_obs=False
+    )
 
-    def smooth(
-        self,
-        problem: StateSpaceProblem,
-        backend: Backend | None = None,
-        compute_covariance: bool | None = None,
+    def _smooth(
+        self, problem: StateSpaceProblem, config: EstimatorConfig
     ) -> SmootherResult:
-        """Smooth the trajectory; covariances are always produced.
-
-        ``compute_covariance=False`` is accepted for API symmetry but
-        cannot speed anything up: the backward recursion itself runs on
-        the covariances (paper §5.4) — the result simply omits them.
-        """
-        if backend is None:
-            backend = SerialBackend()
+        backend = config.backend
         m0, p0, steps = to_standard_form(problem, "the RTS smoother")
         del m0, p0
         filt = KalmanFilter().filter(problem, backend)
@@ -77,7 +78,7 @@ class RTSSmoother:
             s_covs[i] = 0.5 * (cov + cov.T)
 
         backend.serial_for(k + 1, backward, phase="kalman/rts-backward")
-        want_cov = compute_covariance is None or compute_covariance
+        want_cov = config.compute_covariance
         return SmootherResult(
             means=s_means,
             covariances=s_covs if want_cov else None,

@@ -25,8 +25,17 @@ observations accumulate to determine them.
 
 from __future__ import annotations
 
+import dataclasses
+
 import numpy as np
 
+from ..api import (
+    Capabilities,
+    EstimatorConfig,
+    SmootherBase,
+    call_smoother,
+    coerce_smoother,
+)
 from ..core.smoother import OddEvenSmoother
 from ..errors import UnobservableStateError
 from ..linalg.cholesky import whiten_packed
@@ -40,7 +49,7 @@ from ..model.problem import StateSpaceProblem
 from ..model.steps import Evolution, GaussianPrior, Observation, Step
 from .result import SmootherResult
 
-__all__ = ["UltimateKalman"]
+__all__ = ["UltimateKalman", "UltimateSmoother"]
 
 
 class UltimateKalman:
@@ -304,17 +313,40 @@ class UltimateKalman:
         """The accumulated timeline as a batch problem."""
         return StateSpaceProblem(list(self._steps), prior=self._prior)
 
-    def smooth(self, compute_covariance: bool = True) -> SmootherResult:
+    def smooth(
+        self, compute_covariance: bool = True, *, backend=None
+    ) -> SmootherResult:
         """Smoothed estimates of every state on the timeline.
 
-        A rank-deficient window (e.g. too few observations since the
+        ``backend`` dispatches the batch smoother's heavy phases (the
+        incremental filter updates themselves are inherently
+        sequential small QRs and have no parallel phases).  A
+        rank-deficient window (e.g. too few observations since the
         last :meth:`forget`) raises
         :class:`~repro.errors.UnobservableStateError` naming the global
         step range instead of a bare LAPACK error.
         """
+        # This request is generated here, not by the batch smoother's
+        # caller: for an inner that cannot skip covariance work (e.g.
+        # RTS), keep the historical hide-only semantics instead of
+        # tripping its supports_nc capability check.
+        request: bool | None = compute_covariance
+        hide = False
+        caps = getattr(self._smoother, "capabilities", None)
+        if (
+            compute_covariance is False
+            and caps is not None
+            and not caps.supports_nc
+        ):
+            request, hide = None, True
         try:
-            return self._smoother.smooth(
-                self.problem(), compute_covariance=compute_covariance
+            result = call_smoother(
+                self._smoother,
+                self.problem(),
+                config=EstimatorConfig(
+                    backend=backend,
+                    compute_covariance=request,
+                ),
             )
         except UnobservableStateError:
             raise
@@ -324,3 +356,53 @@ class UltimateKalman:
                 f"{self.current_index}] is not observable from the data "
                 f"absorbed so far: {exc}"
             ) from exc
+        if hide and result.covariances is not None:
+            result = dataclasses.replace(result, covariances=None)
+        return result
+
+
+class UltimateSmoother(SmootherBase):
+    """Batch adapter over the incremental :class:`UltimateKalman` API.
+
+    Replays a :class:`~repro.model.problem.StateSpaceProblem` through
+    the incremental ``evolve``/``observe`` workflow — exercising the
+    filter's carried-triangle updates exactly as a live client would —
+    and then smooths the accumulated timeline.  This is the §5.1
+    workflow as a registry citizen: constructible by name
+    (``repro.make_smoother("ultimate")``) and interchangeable with the
+    batch smoothers anywhere the uniform surface is used.
+
+    Parameters
+    ----------
+    smoother:
+        Inner batch smoother for the final ``smooth`` call (a
+        :class:`~repro.api.Smoother`, or a registered name); defaults
+        to the odd-even smoother like :class:`UltimateKalman` itself.
+    """
+
+    name = "ultimate"
+    capabilities = Capabilities()
+
+    def __init__(self, smoother=None):
+        self.smoother = coerce_smoother(smoother)
+
+    def _smooth(
+        self, problem: StateSpaceProblem, config: EstimatorConfig
+    ) -> SmootherResult:
+        first = problem.steps[0]
+        prior = None
+        if problem.prior is not None:
+            prior = (problem.prior.mean, problem.prior.cov_matrix())
+        kalman = UltimateKalman(
+            first.state_dim, prior=prior, smoother=self.smoother
+        )
+        if first.observation is not None:
+            kalman.observe_step(first.observation)
+        for step in problem.steps[1:]:
+            kalman.evolve_step(step.evolution)
+            if step.observation is not None:
+                kalman.observe_step(step.observation)
+        return kalman.smooth(
+            compute_covariance=config.compute_covariance,
+            backend=config.backend,
+        )

@@ -14,6 +14,7 @@ from .nonlinear import (
     NonlinearFunction,
     NonlinearProblem,
     NonlinearStep,
+    as_nonlinear,
     coordinated_turn_problem,
     pendulum_problem,
 )
@@ -41,6 +42,7 @@ __all__ = [
     "NonlinearFunction",
     "NonlinearProblem",
     "NonlinearStep",
+    "as_nonlinear",
     "coordinated_turn_problem",
     "pendulum_problem",
     "StateSpaceProblem",

@@ -22,6 +22,7 @@ __all__ = [
     "NonlinearFunction",
     "NonlinearStep",
     "NonlinearProblem",
+    "as_nonlinear",
     "pendulum_problem",
     "coordinated_turn_problem",
 ]
@@ -154,6 +155,64 @@ class NonlinearProblem:
                 ).L.whiten(resid)
                 total += float(white @ white)
         return total
+
+
+def as_nonlinear(problem: StateSpaceProblem) -> NonlinearProblem:
+    """Lift a linear problem into the nonlinear form.
+
+    The evolution/observation maps become linear
+    :class:`NonlinearFunction` objects with constant Jacobians, so the
+    iterated smoothers (Gauss–Newton, Levenberg–Marquardt) accept
+    linear problems through the uniform ``smooth(problem)`` surface —
+    on which they converge in one exact step.  Square invertible
+    ``H_i`` are reduced away as in
+    :func:`~repro.kalman.standard_form.to_standard_form`; rectangular
+    ``H_i`` are a QR-smoother-only feature and raise.
+    """
+    if isinstance(problem, NonlinearProblem):
+        return problem
+    out: list[NonlinearStep] = []
+    for i, step in enumerate(problem.steps):
+        evo_fn = evo_cov = cvec = None
+        if i > 0:
+            evo = step.evolution
+            h = evo.H
+            if h.shape[0] != h.shape[1]:
+                raise ValueError(
+                    f"step {i} has a rectangular H ({h.shape[0]}x"
+                    f"{h.shape[1]}); the nonlinear form requires H_i = I "
+                    "or square invertible H_i — use the QR-based smoothers"
+                )
+            f, cvec, k_cov = evo.F, evo.c, evo.K.covariance()
+            if not evo.is_identity_h():
+                f = np.linalg.solve(h, f)
+                cvec = np.linalg.solve(h, cvec)
+                hinv_k = np.linalg.solve(h, k_cov)
+                k_cov = np.linalg.solve(h, hinv_k.T).T
+            evo_fn = NonlinearFunction(
+                fn=lambda x, _f=f: _f @ x, jacobian=lambda x, _f=f: _f
+            )
+            evo_cov = k_cov
+        obs_fn = obs = obs_cov = None
+        if step.observation is not None:
+            g = step.observation.G
+            obs_fn = NonlinearFunction(
+                fn=lambda x, _g=g: _g @ x, jacobian=lambda x, _g=g: _g
+            )
+            obs = step.observation.o
+            obs_cov = step.observation.L.covariance()
+        out.append(
+            NonlinearStep(
+                state_dim=step.state_dim,
+                evolution_fn=evo_fn,
+                evolution_cov=evo_cov,
+                c=cvec,
+                observation_fn=obs_fn,
+                observation=obs,
+                observation_cov=obs_cov,
+            )
+        )
+    return NonlinearProblem(out, prior=problem.prior)
 
 
 def pendulum_problem(

@@ -15,7 +15,7 @@ import numpy as np
 from ..errors import UnobservableStateError
 from ..linalg.cholesky import spd_solve
 from ..linalg.triangular import instrumented_matmul
-from ..model.nonlinear import NonlinearProblem
+from ..model.nonlinear import NonlinearProblem, as_nonlinear
 
 __all__ = ["extended_kalman_filter"]
 
@@ -27,8 +27,12 @@ def extended_kalman_filter(
 
     Requires a prior (like every filter).  Covariances are tracked
     internally but not returned — the nonlinear smoothers only need the
-    trajectory.
+    trajectory.  Linear :class:`~repro.model.problem.StateSpaceProblem`
+    inputs are lifted via :func:`~repro.model.nonlinear.as_nonlinear`
+    (on them the EKF is exactly the Kalman filter).
     """
+    if not isinstance(problem, NonlinearProblem):
+        problem = as_nonlinear(problem)
     if problem.prior is None:
         raise ValueError("the extended Kalman filter requires a prior")
     m = np.asarray(problem.prior.mean, dtype=float)

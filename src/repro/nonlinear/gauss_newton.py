@@ -8,6 +8,12 @@ likelihood objective (paper eq. 4).  The inner solves never need
 covariances, which is why the NC variants exist (§5.4); covariances of
 the final trajectory come from one extra covariance pass at the
 solution.
+
+Through the :mod:`repro.api` surface this smoother also accepts
+*linear* :class:`~repro.model.problem.StateSpaceProblem` inputs (lifted
+via :func:`~repro.model.nonlinear.as_nonlinear`), on which it converges
+in one exact step — so it participates in the registry-driven
+agreement suite like every other estimator.
 """
 
 from __future__ import annotations
@@ -16,13 +22,91 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..api import (
+    Capabilities,
+    EstimatorConfig,
+    SmootherBase,
+    call_smoother,
+    coerce_smoother,
+)
 from ..core.smoother import OddEvenSmoother
 from ..kalman.result import SmootherResult
-from ..model.nonlinear import NonlinearProblem
-from ..parallel.backend import Backend, SerialBackend
+from ..model.nonlinear import NonlinearProblem, as_nonlinear
+from ..parallel.backend import Backend
 from .ekf import extended_kalman_filter
 
 __all__ = ["GaussNewtonSmoother", "GaussNewtonTrace"]
+
+
+def _inner_nc(inner) -> bool | None:
+    """The NC request for an inner smoother's iteration solves.
+
+    ``False`` (skip covariances) when the inner supports the NC
+    variant — the optimization the paper's §5.4 is about — and for
+    duck-typed legacy inners, whose old signature always took the
+    flag.  ``None`` (unset, let the inner do its thing) for smoothers
+    like RTS that carry covariances intrinsically, so using them as
+    the inner solver keeps working instead of tripping the capability
+    check on an internally generated request.
+    """
+    caps = getattr(inner, "capabilities", None)
+    if caps is not None and not caps.supports_nc:
+        return None
+    return False
+
+
+def _shim_positional_initial(owner, args, compute_covariance, initial):
+    """Catch the pre-``repro.api`` positional order.
+
+    The old signature was ``smooth(problem, backend, initial,
+    compute_covariance)``, so anything after ``backend`` lands in
+    ``args`` here: a lone bool/None is the *new* positional
+    ``compute_covariance`` (the base shim handles its deprecation); a
+    trajectory — optionally followed by the old covariance flag, or
+    combined with a ``compute_covariance=`` keyword — is the legacy
+    form, rebound with one deprecation warning so those calls keep
+    their meaning.  Returns ``(compute_covariance, initial, legacy)``.
+    """
+    if not args:
+        return compute_covariance, initial, False
+    if len(args) > 2:
+        raise TypeError(
+            f"{owner}.smooth takes at most 4 positional arguments "
+            f"({2 + len(args)} given)"
+        )
+    first = args[0]
+    if len(args) == 1 and (first is None or isinstance(first, bool)):
+        if compute_covariance is not None:
+            raise TypeError(
+                f"{owner}.smooth got multiple values for "
+                "compute_covariance"
+            )
+        return first, initial, False
+    from ..api import warn_deprecated
+
+    warn_deprecated(
+        f"passing the initial trajectory positionally to {owner}.smooth "
+        "is deprecated; pass initial=... (and compute_covariance via "
+        "config=) instead"
+    )
+    if isinstance(first, bool):
+        raise TypeError(
+            f"{owner}.smooth got two covariance flags positionally"
+        )
+    if initial is not None:
+        raise TypeError(
+            f"{owner}.smooth got an initial trajectory both positionally "
+            "and as initial="
+        )
+    flag = compute_covariance
+    if len(args) == 2:
+        if compute_covariance is not None:
+            raise TypeError(
+                f"{owner}.smooth got multiple values for "
+                "compute_covariance"
+            )
+        flag = None if args[1] is None else bool(args[1])
+    return flag, None if first is None else list(first), True
 
 
 @dataclass
@@ -38,14 +122,15 @@ class GaussNewtonTrace:
         return len(self.step_norms)
 
 
-class GaussNewtonSmoother:
+class GaussNewtonSmoother(SmootherBase):
     """Iterated nonlinear Kalman smoother (Gauss–Newton steps).
 
     Parameters
     ----------
     inner:
-        Linear smoother used for the inner solves; defaults to the
-        Odd-Even smoother (NC mode is forced for the iterations).
+        Linear smoother used for the inner solves — any
+        :class:`~repro.api.Smoother` or a registered name; defaults to
+        the Odd-Even smoother (NC mode is forced for the iterations).
     max_iterations, tol:
         Stop when the relative step norm falls below ``tol`` or after
         ``max_iterations`` linearizations.
@@ -61,6 +146,9 @@ class GaussNewtonSmoother:
     """
 
     name = "gauss-newton"
+    capabilities = Capabilities(
+        needs_prior=True, supports_rectangular_obs=False, iterative=True
+    )
 
     def __init__(
         self,
@@ -72,6 +160,7 @@ class GaussNewtonSmoother:
         backtrack: float = 0.5,
         min_step: float = 1e-8,
     ):
+        inner = coerce_smoother(inner)
         self.inner = inner if inner is not None else OddEvenSmoother()
         self.max_iterations = max_iterations
         self.tol = tol
@@ -88,13 +177,52 @@ class GaussNewtonSmoother:
 
     def smooth(
         self,
-        problem: NonlinearProblem,
+        problem,
         backend: Backend | None = None,
+        *args,
+        compute_covariance: bool | None = None,
+        config: EstimatorConfig | None = None,
         initial: list[np.ndarray] | None = None,
-        compute_covariance: bool = True,
     ) -> SmootherResult:
-        if backend is None:
-            backend = SerialBackend()
+        compute_covariance, initial, legacy = _shim_positional_initial(
+            type(self).__name__, args, compute_covariance, initial
+        )
+        if legacy:
+            # Already warned once with the right message; route through
+            # config so the base shim does not warn a second time.
+            if config is not None:
+                raise TypeError(
+                    "pass either the deprecated positional form or "
+                    "config=, not both"
+                )
+            return super().smooth(
+                problem,
+                config=EstimatorConfig(
+                    backend=backend,
+                    compute_covariance=compute_covariance,
+                ),
+                initial=initial,
+            )
+        return super().smooth(
+            problem,
+            backend,
+            compute_covariance,
+            config=config,
+            initial=initial,
+        )
+
+    def _smooth(
+        self,
+        problem,
+        config: EstimatorConfig,
+        *,
+        initial: list[np.ndarray] | None = None,
+    ) -> SmootherResult:
+        problem = as_nonlinear(problem)
+        inner_config = EstimatorConfig(
+            backend=config.backend,
+            compute_covariance=_inner_nc(self.inner),
+        )
         trajectory = (
             [np.asarray(x, dtype=float) for x in initial]
             if initial is not None
@@ -105,9 +233,7 @@ class GaussNewtonSmoother:
         trace.objectives.append(current_obj)
         for _ in range(self.max_iterations):
             linear = problem.linearize(trajectory)
-            result = self.inner.smooth(
-                linear, backend=backend, compute_covariance=False
-            )
+            result = call_smoother(self.inner, linear, config=inner_config)
             direction = [
                 a - b for a, b in zip(result.means, trajectory)
             ]
@@ -148,10 +274,14 @@ class GaussNewtonSmoother:
                 trace.converged = True
                 break
         covariances = None
-        if compute_covariance:
+        if config.compute_covariance:
             linear = problem.linearize(trajectory)
-            final = self.inner.smooth(
-                linear, backend=backend, compute_covariance=True
+            final = call_smoother(
+                self.inner,
+                linear,
+                config=EstimatorConfig(
+                    backend=config.backend, compute_covariance=True
+                ),
             )
             covariances = final.covariances
         return SmootherResult(

@@ -19,13 +19,21 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..api import (
+    Capabilities,
+    EstimatorConfig,
+    SmootherBase,
+    call_smoother,
+    coerce_smoother,
+)
 from ..core.smoother import OddEvenSmoother
 from ..kalman.result import SmootherResult
-from ..model.nonlinear import NonlinearProblem
+from ..model.nonlinear import NonlinearProblem, as_nonlinear
 from ..model.problem import StateSpaceProblem
 from ..model.steps import Observation, Step
-from ..parallel.backend import Backend, SerialBackend
+from ..parallel.backend import Backend
 from .ekf import extended_kalman_filter
+from .gauss_newton import _inner_nc, _shim_positional_initial
 
 __all__ = ["LevenbergMarquardtSmoother", "damp_problem", "LMTrace"]
 
@@ -89,19 +97,23 @@ class LMTrace:
         return len(self.accepted)
 
 
-class LevenbergMarquardtSmoother:
+class LevenbergMarquardtSmoother(SmootherBase):
     """Damped iterated smoother with NC inner solves.
 
     Parameters
     ----------
     inner:
-        Linear smoother for the damped subproblems (NC mode forced).
+        Linear smoother for the damped subproblems (NC mode forced) —
+        any :class:`~repro.api.Smoother` or a registered name.
     lambda0, lambda_up, lambda_down:
         Initial damping and the multiplicative adaptation factors on
         rejected/accepted steps.
     """
 
     name = "levenberg-marquardt"
+    capabilities = Capabilities(
+        needs_prior=True, supports_rectangular_obs=False, iterative=True
+    )
 
     def __init__(
         self,
@@ -113,6 +125,7 @@ class LevenbergMarquardtSmoother:
         lambda_down: float = 0.1,
         max_lambda: float = 1e12,
     ):
+        inner = coerce_smoother(inner)
         self.inner = inner if inner is not None else OddEvenSmoother()
         self.max_iterations = max_iterations
         self.tol = tol
@@ -123,13 +136,52 @@ class LevenbergMarquardtSmoother:
 
     def smooth(
         self,
-        problem: NonlinearProblem,
+        problem,
         backend: Backend | None = None,
+        *args,
+        compute_covariance: bool | None = None,
+        config: EstimatorConfig | None = None,
         initial: list[np.ndarray] | None = None,
-        compute_covariance: bool = True,
     ) -> SmootherResult:
-        if backend is None:
-            backend = SerialBackend()
+        compute_covariance, initial, legacy = _shim_positional_initial(
+            type(self).__name__, args, compute_covariance, initial
+        )
+        if legacy:
+            # Already warned once with the right message; route through
+            # config so the base shim does not warn a second time.
+            if config is not None:
+                raise TypeError(
+                    "pass either the deprecated positional form or "
+                    "config=, not both"
+                )
+            return super().smooth(
+                problem,
+                config=EstimatorConfig(
+                    backend=backend,
+                    compute_covariance=compute_covariance,
+                ),
+                initial=initial,
+            )
+        return super().smooth(
+            problem,
+            backend,
+            compute_covariance,
+            config=config,
+            initial=initial,
+        )
+
+    def _smooth(
+        self,
+        problem,
+        config: EstimatorConfig,
+        *,
+        initial: list[np.ndarray] | None = None,
+    ) -> SmootherResult:
+        problem = as_nonlinear(problem)
+        inner_config = EstimatorConfig(
+            backend=config.backend,
+            compute_covariance=_inner_nc(self.inner),
+        )
         trajectory = (
             [np.asarray(x, dtype=float) for x in initial]
             if initial is not None
@@ -142,8 +194,8 @@ class LevenbergMarquardtSmoother:
         for _ in range(self.max_iterations):
             linear = problem.linearize(trajectory)
             damped = damp_problem(linear, trajectory, lam)
-            candidate = self.inner.smooth(
-                damped, backend=backend, compute_covariance=False
+            candidate = call_smoother(
+                self.inner, damped, config=inner_config
             ).means
             new_obj = problem.objective(candidate)
             if new_obj <= current_obj:
@@ -176,10 +228,14 @@ class LevenbergMarquardtSmoother:
                 if lam > self.max_lambda:
                     break
         covariances = None
-        if compute_covariance:
+        if config.compute_covariance:
             linear = problem.linearize(trajectory)
-            final = self.inner.smooth(
-                linear, backend=backend, compute_covariance=True
+            final = call_smoother(
+                self.inner,
+                linear,
+                config=EstimatorConfig(
+                    backend=config.backend, compute_covariance=True
+                ),
             )
             covariances = final.covariances
         return SmootherResult(

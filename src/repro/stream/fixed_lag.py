@@ -32,6 +32,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..api import call_smoother, coerce_smoother
 from ..core.window import solve_window
 from ..errors import UnobservableStateError
 from ..kalman.result import SmootherResult
@@ -88,12 +89,15 @@ class FixedLagSmoother:
         Attach marginal covariances to emissions (the default); ``False``
         is the NC variant for means-only serving.
     smoother:
-        Optional batch smoother (anything with ``.smooth(problem)``)
-        for the window solves; the default is the sequential
-        :func:`~repro.core.window.solve_window`, which is the fastest
-        choice at window sizes.  A custom smoother's own covariance
-        configuration governs whether emissions carry covariances —
-        ``compute_covariance`` only steers the default solver.
+        Optional batch smoother for the window solves — any
+        :class:`~repro.api.Smoother`, a legacy object with
+        ``.smooth(problem)``, or a registered name for
+        :func:`~repro.api.make_smoother`; the default is the
+        sequential :func:`~repro.core.window.solve_window`, which is
+        the fastest choice at window sizes.  A custom smoother's own
+        covariance configuration governs whether emissions carry
+        covariances — ``compute_covariance`` only steers the default
+        solver.
     """
 
     def __init__(
@@ -111,7 +115,7 @@ class FixedLagSmoother:
         self.lag = int(lag)
         self.auto_emit = auto_emit
         self.compute_covariance = compute_covariance
-        self._smoother = smoother
+        self._smoother = coerce_smoother(smoother)
         self._uk = UltimateKalman(state_dim, prior=prior)
         self._queue: list[Emission] = []
         self._closed = False
@@ -249,7 +253,7 @@ class FixedLagSmoother:
                 compute_covariance=self.compute_covariance,
             )
         try:
-            return self._smoother.smooth(problem)
+            return call_smoother(self._smoother, problem)
         except UnobservableStateError:
             raise
         except np.linalg.LinAlgError as exc:

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..api import EstimatorConfig, call_smoother_many, coerce_smoother
 from ..batch import BatchSmoother
 from ..errors import UnobservableStateError
 from ..model.steps import Evolution, Observation
@@ -88,7 +89,9 @@ class StreamServer:
     smoother:
         The batch engine for flushes; defaults to
         :class:`~repro.batch.BatchSmoother` (stacked odd-even
-        kernels).  Must expose ``smooth_many(problems, backend)``.
+        kernels).  Accepts any :class:`~repro.api.Smoother`, a
+        registered name for :func:`~repro.api.make_smoother`, or a
+        legacy object exposing ``smooth_many(problems, backend)``.
     backend:
         Optional :class:`~repro.parallel.backend.Backend` the batch
         engine dispatches its heavy phases through (e.g.
@@ -115,6 +118,7 @@ class StreamServer:
             raise ValueError(f"lag must be >= 1, got {lag}")
         self.lag = int(lag)
         self.compute_covariance = compute_covariance
+        smoother = coerce_smoother(smoother)
         self._smoother = (
             smoother
             if smoother is not None
@@ -280,8 +284,10 @@ class StreamServer:
                 state.smoother.window_problem() for _, state in due
             ]
             try:
-                results = self._smoother.smooth_many(
-                    problems, self._backend
+                results = call_smoother_many(
+                    self._smoother,
+                    problems,
+                    config=EstimatorConfig(backend=self._backend),
                 )
             except np.linalg.LinAlgError:
                 results = None

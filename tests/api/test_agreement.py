@@ -1,0 +1,183 @@
+"""Registry-driven agreement suite: every algorithm, one answer.
+
+For every registered smoother whose capability flags admit a problem,
+``smooth`` must match the Paige–Saunders oracle to 1e-8 — across state
+dimensions, sequence lengths, and observation shapes (hypothesis-
+parameterized) — and ``smooth_many`` must match per-problem ``smooth``
+slice for slice.  New algorithms added through
+``repro.register_smoother`` are picked up automatically.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro
+from repro.api import EstimatorConfig
+
+#: Convergence options for the iterated smoothers: their fixed-point
+#: tolerance is tightened so iteration error sits well inside the
+#: suite's 1e-8 agreement tolerance (API behavior under test is the
+#: uniform surface, not the default stopping rule).
+SUITE_OPTIONS = {
+    "gauss-newton": {"tol": 1e-13},
+    "levenberg-marquardt": {"tol": 1e-13, "max_iterations": 200},
+}
+
+TOL = 1e-8
+
+
+def suite_smoother(name):
+    return repro.make_smoother(name, **SUITE_OPTIONS.get(name, {}))
+
+
+def admitted(problem):
+    for name in repro.registered_smoothers():
+        if repro.smoother_spec(name).capabilities.admits(problem) is None:
+            yield name
+
+
+def assert_matches_oracle(problem, names=None):
+    oracle = repro.PaigeSaundersSmoother().smooth(problem)
+    checked = []
+    for name in names if names is not None else admitted(problem):
+        got = suite_smoother(name).smooth(problem)
+        assert len(got.means) == problem.n_states, name
+        for i, (a, b) in enumerate(zip(got.means, oracle.means)):
+            err = float(np.max(np.abs(a - b)))
+            assert err < TOL, f"{name} mean {i}: err {err:.2e}"
+        if got.covariances is not None:
+            for i, (a, b) in enumerate(
+                zip(got.covariances, oracle.covariances)
+            ):
+                err = float(np.max(np.abs(a - b)))
+                assert err < TOL, f"{name} cov {i}: err {err:.2e}"
+        checked.append(name)
+    return checked
+
+
+class TestSmoothAgreement:
+    @given(
+        n=st.integers(min_value=1, max_value=4),
+        k=st.integers(min_value=0, max_value=12),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_square_observations(self, n, k, seed):
+        problem = repro.random_problem(
+            k=k, seed=seed, dims=n, random_cov=True
+        )
+        checked = assert_matches_oracle(problem)
+        # Uniform dims + prior: the whole catalog must participate.
+        assert checked == repro.registered_smoothers()
+
+    @given(
+        n=st.integers(min_value=2, max_value=4),
+        obs_dim=st.integers(min_value=1, max_value=5),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_observation_shapes(self, n, obs_dim, seed):
+        """Rectangular G (fewer/more observation rows than states)."""
+        problem = repro.random_problem(
+            k=8, seed=seed, dims=n, obs_dim=obs_dim
+        )
+        assert_matches_oracle(problem)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=8, deadline=None)
+    def test_missing_observations(self, seed):
+        problem = repro.random_problem(
+            k=10, seed=seed, dims=2, obs_prob=0.5, random_cov=True
+        )
+        assert_matches_oracle(problem)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=8, deadline=None)
+    def test_unknown_initial_state(self, seed):
+        """No prior: only the QR family admits the problem."""
+        problem = repro.random_problem(
+            k=7, seed=seed, dims=3, with_prior=False
+        )
+        checked = assert_matches_oracle(problem)
+        assert "odd-even" in checked and "ultimate" in checked
+        assert "kalman-rts" not in checked
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=6, deadline=None)
+    def test_varying_dimensions(self, seed):
+        rng = np.random.default_rng(seed)
+        dims = [int(d) for d in rng.integers(1, 5, size=7)]
+        problem = repro.random_problem(k=6, seed=seed, dims=dims)
+        checked = assert_matches_oracle(problem)
+        assert "batch-odd-even" in checked
+        assert "associative" not in checked
+
+
+class TestSmoothManyAgreement:
+    def workload(self, with_prior=True):
+        return [
+            repro.random_problem(
+                k=k, seed=s, dims=2, with_prior=with_prior
+            )
+            for s, k in enumerate([5, 9, 2, 5])
+        ]
+
+    @pytest.mark.parametrize("name", repro.registered_smoothers())
+    def test_matches_per_problem_smooth(self, name):
+        """``smooth_many`` — native stacking or the default loop —
+        equals ``smooth`` slice for slice for every algorithm."""
+        problems = self.workload()
+        smoother = suite_smoother(name)
+        if any(
+            smoother.capabilities.admits(p) is not None for p in problems
+        ):
+            pytest.skip(f"{name} does not admit the workload")
+        many = smoother.smooth_many(problems)
+        assert len(many) == len(problems)
+        for problem, got in zip(problems, many):
+            want = smoother.smooth(problem)
+            assert len(got.means) == problem.n_states
+            for i in range(problem.n_states):
+                err = float(np.max(np.abs(got.means[i] - want.means[i])))
+                assert err < TOL, f"{name} mean {i}: err {err:.2e}"
+                if want.covariances is not None:
+                    err = float(
+                        np.max(
+                            np.abs(
+                                got.covariances[i] - want.covariances[i]
+                            )
+                        )
+                    )
+                    assert err < TOL, f"{name} cov {i}: err {err:.2e}"
+
+    def test_loop_fallback_honors_config(self):
+        """The default smooth_many threads the config through to every
+        per-problem solve (NC mode here)."""
+        problems = self.workload()
+        results = repro.make_smoother("paige-saunders").smooth_many(
+            problems, config=EstimatorConfig(compute_covariance=False)
+        )
+        assert all(r.covariances is None for r in results)
+
+    def test_empty_workload(self):
+        for name in repro.registered_smoothers():
+            assert suite_smoother(name).smooth_many([]) == []
+
+
+class TestRegisteredExtensionsParticipate:
+    def test_new_registration_is_swept(self):
+        """A user-registered smoother joins the suite automatically."""
+
+        class Shifted(repro.OddEvenSmoother):
+            name = "shifted-oracle"
+
+        repro.register_smoother(
+            "shifted-oracle", Shifted, capabilities=Shifted.capabilities
+        )
+        try:
+            problem = repro.random_problem(k=5, seed=3, dims=2)
+            checked = assert_matches_oracle(problem)
+            assert "shifted-oracle" in checked
+        finally:
+            repro.default_registry().unregister("shifted-oracle")

@@ -1,0 +1,327 @@
+"""Deprecation shims: old call signatures keep working, loudly.
+
+The pre-``repro.api`` surface — ``backend=``/``compute_covariance=``
+call kwargs, positional backends on ``smooth_many``, and the
+``ALL_SMOOTHERS`` dict — must keep producing the historical behavior
+behind a :class:`DeprecationWarning`, while the canonical ``config=``
+path stays warning-free.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+import repro
+from repro.api import EstimatorConfig
+from repro.parallel.backend import SerialBackend
+
+
+@pytest.fixture
+def problem():
+    return repro.random_problem(k=5, seed=7, dims=2)
+
+
+def assert_no_warnings(fn):
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        return fn()
+
+
+class TestLegacyKwargsWarnButWork:
+    def test_backend_kwarg(self, problem):
+        with pytest.warns(DeprecationWarning, match="config"):
+            legacy = repro.OddEvenSmoother().smooth(
+                problem, backend=SerialBackend()
+            )
+        canonical = repro.OddEvenSmoother().smooth(
+            problem, config=EstimatorConfig(backend=SerialBackend())
+        )
+        for a, b in zip(legacy.means, canonical.means):
+            assert np.array_equal(a, b)
+
+    def test_compute_covariance_kwarg(self, problem):
+        with pytest.warns(DeprecationWarning):
+            result = repro.OddEvenSmoother().smooth(
+                problem, compute_covariance=False
+            )
+        assert result.covariances is None
+
+    def test_positional_backend(self, problem):
+        with pytest.warns(DeprecationWarning):
+            repro.PaigeSaundersSmoother().smooth(problem, SerialBackend())
+
+    def test_mixing_legacy_kwargs_with_config_raises(self, problem):
+        """Contradictory requests are rejected rather than one side
+        silently winning."""
+        with pytest.raises(TypeError, match="not both"):
+            repro.OddEvenSmoother().smooth(
+                problem,
+                backend=SerialBackend(),
+                config=EstimatorConfig(compute_covariance=False),
+            )
+
+    def test_legacy_engine_with_required_backend_param(self, problem):
+        """The pre-api StreamServer contract: engines exposing
+        smooth_many(problems, backend) keep working, backend=None
+        included."""
+
+        class LegacyEngine:
+            def smooth_many(self, problems, backend):
+                batch = repro.BatchSmoother()
+                with pytest.warns(DeprecationWarning):
+                    return batch.smooth_many(problems, backend or SerialBackend())
+
+        server = repro.StreamServer(2, smoother=LegacyEngine())
+        server.open_stream("s", 2, prior=(np.zeros(2), np.eye(2)))
+        for seq, step in enumerate(problem.steps):
+            server.submit(
+                "s",
+                repro.StreamStep(
+                    seq=seq,
+                    evolution=step.evolution,
+                    observation=step.observation,
+                ),
+            )
+            server.flush()
+        assert server.close_stream("s")
+
+    def test_conventional_inner_still_accepted_by_nonlinear(self):
+        """Pre-api behavior: GN/LM with an RTS inner worked (the inner
+        just could not skip covariances); the internally generated NC
+        request must not trip the capability check."""
+        nl, _truth = repro.pendulum_problem(k=8, seed=2)
+        result = repro.GaussNewtonSmoother(inner=repro.RTSSmoother()).smooth(
+            nl, config=EstimatorConfig(compute_covariance=False)
+        )
+        assert result.diagnostics["converged"]
+
+    def test_smooth_many_positional_backend(self, problem):
+        with pytest.warns(DeprecationWarning):
+            results = repro.BatchSmoother().smooth_many(
+                [problem], SerialBackend()
+            )
+        assert len(results) == 1
+
+    def test_legacy_rts_nc_still_hides_covariances(self, problem):
+        """The historical lenient behavior survives on the legacy path
+        only; the canonical path raises (see test_registry)."""
+        with pytest.warns(DeprecationWarning):
+            result = repro.RTSSmoother().smooth(
+                problem, compute_covariance=False
+            )
+        assert result.covariances is None
+
+    def test_legacy_normal_equations_covariance_request(self, problem):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(NotImplementedError):
+                repro.NormalEquationsSmoother().smooth(
+                    problem, compute_covariance=True
+                )
+
+
+class TestLegacyNonlinearPositionalInitial:
+    def test_third_positional_trajectory_rebinds(self):
+        """Pre-api order was smooth(problem, backend, initial, ...):
+        a trajectory in the third slot must still be used as the
+        initial guess, not swallowed as compute_covariance."""
+        nl, truth = repro.pendulum_problem(k=10, seed=0)
+        want = repro.GaussNewtonSmoother().smooth(nl, initial=list(truth))
+        with pytest.warns(DeprecationWarning, match="initial"):
+            got = repro.GaussNewtonSmoother().smooth(
+                nl, None, list(truth)
+            )
+        for a, b in zip(got.means, want.means):
+            assert np.array_equal(a, b)
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError, match="both"):
+                repro.LevenbergMarquardtSmoother().smooth(
+                    nl, None, list(truth), initial=list(truth)
+                )
+
+    def test_full_four_positional_form(self):
+        """The complete pre-api order smooth(problem, backend,
+        initial, compute_covariance) still binds correctly."""
+        nl, truth = repro.pendulum_problem(k=10, seed=0)
+        want = repro.GaussNewtonSmoother().smooth(
+            nl,
+            config=EstimatorConfig(compute_covariance=False),
+            initial=list(truth),
+        )
+        with pytest.warns(DeprecationWarning, match="initial"):
+            got = repro.GaussNewtonSmoother().smooth(
+                nl, None, list(truth), False
+            )
+        assert got.covariances is None
+        for a, b in zip(got.means, want.means):
+            assert np.array_equal(a, b)
+
+    def test_mixed_positional_initial_with_keyword_flag(self):
+        """smooth(problem, backend, traj, compute_covariance=False) —
+        trajectory positional, flag by keyword — was valid pre-api."""
+        nl, truth = repro.pendulum_problem(k=8, seed=0)
+        with pytest.warns(DeprecationWarning, match="initial"):
+            got = repro.LevenbergMarquardtSmoother().smooth(
+                nl, None, list(truth), compute_covariance=False
+            )
+        assert got.covariances is None
+
+    def test_legacy_positional_form_warns_exactly_once(self):
+        import warnings as _w
+
+        nl, truth = repro.pendulum_problem(k=8, seed=0)
+        with _w.catch_warnings(record=True) as record:
+            _w.simplefilter("always")
+            repro.GaussNewtonSmoother().smooth(nl, None, list(truth), False)
+        deprecations = [
+            w
+            for w in record
+            if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert "initial" in str(deprecations[0].message)
+
+    def test_four_positional_with_none_initial(self):
+        """smooth(problem, backend, None, flag) was valid pre-api:
+        initial defaulted to None ahead of the covariance flag."""
+        nl, _truth = repro.pendulum_problem(k=8, seed=0)
+        with pytest.warns(DeprecationWarning, match="initial"):
+            got = repro.GaussNewtonSmoother().smooth(nl, None, None, False)
+        assert got.covariances is None
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError, match="two covariance"):
+                repro.GaussNewtonSmoother().smooth(nl, None, True, False)
+
+    def test_ultimate_kalman_nc_with_conventional_inner(self):
+        """UltimateKalman.smooth(compute_covariance=False) with a
+        non-NC inner keeps the pre-api hide-only semantics."""
+        problem = repro.random_problem(k=5, seed=4, dims=2)
+        kalman = repro.UltimateKalman(
+            2,
+            prior=(problem.prior.mean, problem.prior.cov_matrix()),
+            smoother=repro.RTSSmoother(),
+        )
+        for i, step in enumerate(problem.steps):
+            if i:
+                kalman.evolve_step(step.evolution)
+            if step.observation is not None:
+                kalman.observe_step(step.observation)
+        result = kalman.smooth(compute_covariance=False)
+        assert result.covariances is None
+
+    def test_legacy_warning_names_the_caller(self, problem):
+        """warn_deprecated walks out of the repro package, so the
+        warning points at user code even through subclass wrappers."""
+        nl, _truth = repro.pendulum_problem(k=4, seed=1)
+        with pytest.warns(DeprecationWarning) as record:
+            repro.GaussNewtonSmoother().smooth(
+                nl, backend=SerialBackend()
+            )
+        assert record[0].filename == __file__
+
+
+class TestLegacyBatchAssociativeNC:
+    def test_constructor_flag_warns_and_is_ignored(self):
+        """Pre-api behavior: the associative method carries covariances
+        either way; the constructor flag stays lenient (deprecated)
+        while a per-call config request raises (see test_registry)."""
+        problem = repro.random_problem(k=4, seed=0, dims=2)
+        with pytest.warns(DeprecationWarning, match="no effect"):
+            smoother = repro.BatchSmoother(
+                method="associative", compute_covariance=False
+            )
+        result = smoother.smooth_many([problem])[0]
+        assert result.covariances is not None
+
+
+class TestUltimateBackendThreading:
+    def test_config_backend_reaches_the_batch_smooth(self, problem):
+        backend = repro.RecordingBackend()
+        repro.make_smoother("ultimate").smooth(
+            problem, config=EstimatorConfig(backend=backend)
+        )
+        assert backend.graph.n_tasks > 0
+
+
+class TestCanonicalPathIsClean:
+    def test_smooth_with_config(self, problem):
+        assert_no_warnings(
+            lambda: repro.OddEvenSmoother().smooth(
+                problem,
+                config=EstimatorConfig(
+                    backend=SerialBackend(), compute_covariance=False
+                ),
+            )
+        )
+
+    def test_smooth_many_with_config(self, problem):
+        assert_no_warnings(
+            lambda: repro.BatchSmoother().smooth_many(
+                [problem], config=EstimatorConfig(backend=SerialBackend())
+            )
+        )
+
+    def test_first_party_compositions_are_clean(self, problem):
+        """UltimateKalman, solve_window, stream serving, and the
+        nonlinear smoothers must be off the shimmed paths."""
+
+        def run():
+            smoother = repro.make_smoother("ultimate")
+            smoother.smooth(
+                problem, config=EstimatorConfig(compute_covariance=False)
+            )
+            repro.solve_window(problem, compute_covariance=False)
+            nl, _truth = repro.pendulum_problem(k=8, seed=0)
+            repro.GaussNewtonSmoother().smooth(
+                nl, config=EstimatorConfig(compute_covariance=False)
+            )
+            repro.LevenbergMarquardtSmoother().smooth(
+                nl, config=EstimatorConfig(compute_covariance=False)
+            )
+            server = repro.StreamServer(2)
+            server.open_stream(
+                "s", 2, prior=(np.zeros(2), np.eye(2))
+            )
+            for seq, step in enumerate(problem.steps):
+                server.submit(
+                    "s",
+                    repro.StreamStep(
+                        seq=seq,
+                        evolution=step.evolution,
+                        observation=step.observation,
+                    ),
+                )
+                server.flush()
+            server.close_stream("s")
+
+        assert_no_warnings(run)
+
+
+class TestAllSmoothersDict:
+    def test_access_warns_and_matches_registry(self):
+        with pytest.warns(DeprecationWarning, match="registered_smoothers"):
+            legacy = repro.ALL_SMOOTHERS
+        assert legacy == {
+            "odd-even": repro.OddEvenSmoother,
+            "paige-saunders": repro.PaigeSaundersSmoother,
+            "kalman-rts": repro.RTSSmoother,
+            "associative": repro.AssociativeSmoother,
+        }
+
+    def test_identity_is_stable_across_accesses(self):
+        """The shim keeps the old module-attribute semantics: one
+        dict object, so legacy mutations persist."""
+        with pytest.warns(DeprecationWarning):
+            first = repro.ALL_SMOOTHERS
+            assert repro.ALL_SMOOTHERS is first
+
+
+class TestAdmitsProblemKind:
+    def test_nonlinear_problem_needs_iterative_smoother(self):
+        nl, _truth = repro.pendulum_problem(k=4, seed=0)
+        assert repro.smoother_spec("odd-even").capabilities.admits(nl)
+        assert repro.smoother_spec("kalman-rts").capabilities.admits(nl)
+        assert (
+            repro.smoother_spec("gauss-newton").capabilities.admits(nl)
+            is None
+        )
