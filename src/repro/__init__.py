@@ -43,7 +43,7 @@ from .api import (
     registered_smoothers,
     smoother_spec,
 )
-from .batch import BatchSmoother
+from .batch import BatchSmoother, PlanCache, default_plan_cache
 from .core import (
     NormalEquationsSmoother,
     OddEvenR,
@@ -143,6 +143,8 @@ __all__ = [
     "registered_smoothers",
     "smoother_spec",
     "BatchSmoother",
+    "PlanCache",
+    "default_plan_cache",
     "NormalEquationsSmoother",
     "OddEvenR",
     "OddEvenSmoother",

@@ -152,16 +152,33 @@ def warn_deprecated(message: str) -> None:
 
 
 def _cast_result(result: "SmootherResult", dtype: Any) -> "SmootherResult":
-    """Apply an ``EstimatorConfig.dtype`` request to a result's arrays."""
+    """Apply an output-dtype request to a result's arrays.
+
+    ``dtype`` must already be an *output* dtype (callers pass
+    ``EstimatorConfig.output_dtype``, which maps the mixed-precision
+    spellings to float64).  Raises :class:`ValueError` for result
+    objects that do not expose the ``SmootherResult`` array fields —
+    a dtype request on such a result cannot be honored and must not
+    be dropped silently.
+    """
     if dtype is None:
         return result
-    means = [np.asarray(m, dtype=dtype) for m in result.means]
-    covariances = (
-        None
-        if result.covariances is None
-        else [np.asarray(c, dtype=dtype) for c in result.covariances]
-    )
-    return dataclasses.replace(result, means=means, covariances=covariances)
+    try:
+        means = [np.asarray(m, dtype=dtype) for m in result.means]
+        covariances = (
+            None
+            if result.covariances is None
+            else [np.asarray(c, dtype=dtype) for c in result.covariances]
+        )
+        return dataclasses.replace(
+            result, means=means, covariances=covariances
+        )
+    except (AttributeError, TypeError) as exc:
+        raise ValueError(
+            f"cannot honor EstimatorConfig dtype={dtype!r}: result type "
+            f"{type(result).__name__} does not expose SmootherResult-style "
+            "means/covariances arrays"
+        ) from exc
 
 
 class SmootherBase(abc.ABC):
@@ -200,7 +217,8 @@ class SmootherBase(abc.ABC):
         config, legacy = self._shim_legacy(backend, compute_covariance, config)
         resolved = self._resolve(problem, config, legacy=legacy)
         return _cast_result(
-            self._smooth(problem, resolved, **options), resolved.dtype
+            self._smooth(problem, resolved, **options),
+            resolved.output_dtype,
         )
 
     def smooth_many(
@@ -310,6 +328,74 @@ class SmootherBase(abc.ABC):
         return resolved
 
 
+def _legacy_accepted_kwargs(func) -> "set[str] | None":
+    """Keyword names a legacy entry point can receive.
+
+    ``None`` means "anything" — the function takes ``**kwargs`` or its
+    signature cannot be introspected (builtins, some callables), in
+    which case forwarding optimistically is the only option.
+    """
+    import inspect
+
+    try:
+        params = inspect.signature(func).parameters.values()
+    except (TypeError, ValueError):  # pragma: no cover - exotic callables
+        return None
+    if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in params):
+        return None
+    return {
+        p.name
+        for p in params
+        if p.kind
+        in (
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            inspect.Parameter.KEYWORD_ONLY,
+        )
+    }
+
+
+def _legacy_forward(
+    func, config: EstimatorConfig | None, include_pad: bool = True
+) -> tuple[dict, Any]:
+    """Map a config onto a legacy signature; refuse to drop set fields.
+
+    Returns ``(kwargs, output_dtype)``.  Fields the legacy signature
+    accepts are forwarded.  Set fields it cannot accept fall into two
+    classes: values matching the historical defaults the legacy
+    generation was written against (``compute_covariance=True``,
+    ``pad=True``) pass silently — the engine already behaves that way
+    — while *deviations* (``compute_covariance=False``, ``pad=False``)
+    raise, because silently ignoring them would hand back covariances
+    the caller asked to skip (or padding they disabled).  ``dtype`` is
+    honored downstream by casting the returned result's arrays, which
+    any solve path can satisfy.
+    """
+    if config is None:
+        return {}, None
+    accepted = _legacy_accepted_kwargs(func)
+    kwargs: dict[str, Any] = {}
+    refused: list[str] = []
+    if config.compute_covariance is not None:
+        if accepted is None or "compute_covariance" in accepted:
+            kwargs["compute_covariance"] = config.compute_covariance
+        elif config.compute_covariance is False:
+            refused.append("compute_covariance=False")
+    if include_pad and config.pad is not None:
+        if accepted is None or "pad" in accepted:
+            kwargs["pad"] = config.pad
+        elif config.pad is False:
+            refused.append("pad=False")
+    if refused:
+        raise ValueError(
+            f"legacy smoother {getattr(func, '__qualname__', func)!r} "
+            f"cannot honor {', '.join(refused)} (not in its signature); "
+            "refusing to silently ignore an explicit EstimatorConfig "
+            "request — wrap the engine in a SmootherBase subclass or "
+            "drop the option"
+        )
+    return kwargs, config.output_dtype
+
+
 def call_smoother(
     smoother,
     problem,
@@ -321,18 +407,24 @@ def call_smoother(
     :class:`SmootherBase` instances get the canonical ``config=``
     keyword; duck-typed legacy smoothers (anything else exposing
     ``smooth``) get the old ``backend=``/``compute_covariance=`` kwargs
-    for whichever fields the config sets.  First-party callers route
-    through here so injected third-party estimators keep working.
+    for whichever fields the config sets *and their signature
+    supports*.  Set fields a legacy signature cannot honor are not
+    dropped: deviations from the legacy defaults raise a
+    :class:`ValueError`, and ``dtype`` is honored by casting the
+    returned arrays.  First-party callers route through here so
+    injected third-party estimators keep working.
     """
     if isinstance(smoother, SmootherBase):
         return smoother.smooth(problem, config=config, **options)
-    kwargs: dict[str, Any] = {}
-    if config is not None:
-        if config.backend is not None:
-            kwargs["backend"] = config.backend
-        if config.compute_covariance is not None:
-            kwargs["compute_covariance"] = config.compute_covariance
-    return smoother.smooth(problem, **kwargs, **options)
+    # pad is a bucketing option of smooth_many workloads; a single
+    # problem is never padded, so it is not considered here.
+    kwargs, out_dtype = _legacy_forward(
+        smoother.smooth, config, include_pad=False
+    )
+    if config is not None and config.backend is not None:
+        kwargs["backend"] = config.backend
+    result = smoother.smooth(problem, **kwargs, **options)
+    return _cast_result(result, out_dtype)
 
 
 def call_smoother_many(
@@ -344,9 +436,16 @@ def call_smoother_many(
 
     Legacy engines get the pre-``repro.api`` shape — a positional
     backend, passed even when it is ``None``, since that is the
-    signature they were written against.
+    signature they were written against — plus whichever set config
+    fields their signature accepts.  As in :func:`call_smoother`,
+    unforwardable deviations raise instead of being dropped, and
+    ``dtype`` is applied to the returned results.
     """
     if isinstance(smoother, SmootherBase):
         return smoother.smooth_many(problems, config=config)
+    kwargs, out_dtype = _legacy_forward(smoother.smooth_many, config)
     backend = config.backend if config is not None else None
-    return smoother.smooth_many(problems, backend)
+    results = smoother.smooth_many(problems, backend, **kwargs)
+    if out_dtype is None:
+        return results
+    return [_cast_result(r, out_dtype) for r in results]

@@ -20,9 +20,15 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Any
 
+import numpy as np
+
 from ..parallel.backend import Backend, SerialBackend
 
 __all__ = ["EstimatorConfig"]
+
+#: dtype spellings that request the mixed-precision fast path: solve in
+#: float32, one step of float64 iterative refinement, float64 outputs.
+_MIXED_DTYPE_NAMES = ("mixed", "float32-refined")
 
 
 @dataclass(frozen=True)
@@ -39,17 +45,62 @@ class EstimatorConfig:
         where the algorithm supports it; unset means the smoother's
         default (covariances on, except for means-only algorithms).
     dtype:
-        Optional NumPy dtype the returned means/covariances are cast
-        to (the solve itself always runs in float64).
+        Precision request.  ``numpy.float32`` runs the batched solve
+        in single precision (with float64 iterative refinement — see
+        :class:`~repro.batch.BatchSmoother`) and returns float32
+        arrays; the strings ``"mixed"`` / ``"float32-refined"`` do the
+        same float32 solve but return refined float64 arrays.  Any
+        other dtype casts the returned means/covariances only (the
+        solve runs in float64, the historical behavior).  Per-sequence
+        smoothers honor ``dtype`` as an output cast.  Unset leaves the
+        float64 arrays untouched.
     pad:
         Batched smoothers only: pad sequences to power-of-two lengths
         so mixed-length workloads share buckets.  Unset means on.
+    plan_cache:
+        Batched smoothers only: the
+        :class:`~repro.batch.plan.PlanCache` that memoizes compiled
+        structure plans (bucketing, padding, stacked-block layouts)
+        across ``smooth_many`` calls.  Unset means the process-wide
+        :func:`~repro.batch.plan.default_plan_cache`; pass ``False``
+        to disable plan caching for this call.
     """
 
     backend: Backend | None = None
     compute_covariance: bool | None = None
     dtype: Any = None
     pad: bool | None = None
+    plan_cache: Any = None
+
+    @property
+    def solve_dtype(self) -> Any:
+        """The dtype the numeric solve should run in, or ``None``.
+
+        ``None`` means the default full float64 pipeline.  Returns
+        ``numpy.float32`` for float32 and mixed-precision requests —
+        the batched hot path then whitens in float64, factors and
+        solves in float32, and refines in float64.
+        """
+        if self.dtype is None:
+            return None
+        if isinstance(self.dtype, str) and self.dtype in _MIXED_DTYPE_NAMES:
+            return np.float32
+        if np.dtype(self.dtype) == np.float32:
+            return np.float32
+        return None
+
+    @property
+    def output_dtype(self) -> Any:
+        """The dtype returned arrays are cast to, or ``None`` (as-is).
+
+        Mixed-precision requests return float64 (the refined result);
+        explicit dtypes are honored as output casts.
+        """
+        if self.dtype is None:
+            return None
+        if isinstance(self.dtype, str) and self.dtype in _MIXED_DTYPE_NAMES:
+            return np.float64
+        return np.dtype(self.dtype)
 
     def replace(self, **overrides: Any) -> "EstimatorConfig":
         """A copy with the given fields replaced (unknown names raise)."""
@@ -84,11 +135,20 @@ class EstimatorConfig:
         Layers ``self`` over ``defaults`` (an estimator's instance
         configuration), then applies the global defaults — a fresh
         :class:`~repro.parallel.backend.SerialBackend`, covariances per
-        ``default_compute_covariance``, padding on.  The result has no
-        ``None`` fields except ``dtype`` (whose default *is* "leave
-        the float64 arrays alone").
+        ``default_compute_covariance``, padding on, the process-wide
+        plan cache.  The result has no ``None`` fields except
+        ``dtype`` (whose default *is* "leave the float64 arrays
+        alone").
         """
         merged = defaults.merged(self) if defaults is not None else self
+        if merged.plan_cache is None:
+            # Imported lazily: repro.batch imports repro.api at module
+            # load, so a top-level import here would be circular.
+            from ..batch.plan import default_plan_cache
+
+            plan_cache = default_plan_cache()
+        else:
+            plan_cache = merged.plan_cache
         return EstimatorConfig(
             backend=(
                 merged.backend if merged.backend is not None else SerialBackend()
@@ -100,4 +160,5 @@ class EstimatorConfig:
             ),
             dtype=merged.dtype,
             pad=True if merged.pad is None else merged.pad,
+            plan_cache=plan_cache,
         )

@@ -47,10 +47,20 @@ Entry point::
     results = BatchSmoother().smooth_many(problems)   # list[SmootherResult]
 """
 
+from .plan import (
+    BucketPlan,
+    PlanCache,
+    SmoothPlan,
+    build_plan,
+    default_plan_cache,
+    workload_key,
+)
 from .smoother import BatchSmoother
 from .stacking import (
     Bucket,
+    BucketLayout,
     bucket_problems,
+    build_bucket_layout,
     pad_problem,
     padded_length,
     stack_whitened,
@@ -60,9 +70,17 @@ from .stacking import (
 __all__ = [
     "BatchSmoother",
     "Bucket",
+    "BucketLayout",
+    "BucketPlan",
+    "PlanCache",
+    "SmoothPlan",
     "bucket_problems",
+    "build_bucket_layout",
+    "build_plan",
+    "default_plan_cache",
     "pad_problem",
     "padded_length",
     "stack_whitened",
     "structure_signature",
+    "workload_key",
 ]

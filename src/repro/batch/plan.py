@@ -1,0 +1,246 @@
+"""Compiled execution plans for repeated-structure batched workloads.
+
+``BatchSmoother.smooth_many`` spends a large, structure-only fraction
+of its runtime before any numeric kernel runs: per-problem signatures,
+bucket grouping, padded-problem construction, and stacked-workspace
+allocation.  Serving traffic (the :class:`~repro.stream.StreamServer`
+fleet) solves the *same* window structure on every flush, so that work
+is pure overhead after the first call.  This module compiles it once:
+
+* :func:`workload_key` fingerprints a workload — the per-problem exact
+  :func:`~repro.batch.stacking.structure_signature` (observation rows
+  included, prior folded) plus the padding/bucketing options — into a
+  hashable key.  Equal keys guarantee byte-identical structure
+  decisions.
+* :func:`build_plan` runs the full structure pipeline once and
+  records its outcome as a :class:`SmoothPlan`: the bucket membership,
+  padding targets, and one compiled
+  :class:`~repro.batch.stacking.BucketLayout` (stacked-block shapes +
+  preallocated, pad-prefilled raw workspaces) per odd-even bucket.
+* :class:`PlanCache` is a thread-safe LRU keyed by workload key,
+  threaded through :class:`~repro.api.EstimatorConfig` (the
+  ``plan_cache`` field; ``resolve()`` defaults it to the process-wide
+  :func:`default_plan_cache`).
+
+Replaying a plan is exact: the layout path performs the same numeric
+operations on the same values as the cold path, so planned and
+unplanned results agree bit for bit (a property the test suite pins).
+
+A plan's workspaces are reused across calls and are therefore not
+safe for two *concurrent* ``smooth_many`` calls hitting the same
+cache entry; give concurrent callers separate ``PlanCache`` instances
+(the internal phase parallelism of one call is unaffected).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable
+
+from ..model.problem import StateSpaceProblem
+from .stacking import (
+    BucketLayout,
+    bucket_problems,
+    build_bucket_layout,
+    structure_signature,
+)
+
+__all__ = [
+    "BucketPlan",
+    "PlanCache",
+    "SmoothPlan",
+    "build_plan",
+    "default_plan_cache",
+    "workload_key",
+]
+
+
+def workload_key(
+    problems: list[StateSpaceProblem],
+    pad: bool = True,
+    exact_obs: bool = False,
+) -> tuple:
+    """Hashable structure fingerprint of a ``smooth_many`` workload.
+
+    Extends the per-problem :func:`structure_signature` to a full
+    workload key: the exact per-step shapes of every problem *in
+    order* (observation rows included — stacked fill regions depend on
+    them), plus the ``pad``/``exact_obs`` options that steer
+    bucketing.  Two workloads with equal keys make identical
+    structure decisions end to end, which is what licenses replaying
+    a cached :class:`SmoothPlan` without re-validation.
+    """
+    return (
+        bool(pad),
+        bool(exact_obs),
+        tuple(
+            structure_signature(p, obs_rows=True) for p in problems
+        ),
+    )
+
+
+@dataclass
+class BucketPlan:
+    """One bucket's compiled decisions within a :class:`SmoothPlan`.
+
+    ``indices`` map bucket order back to workload order;
+    ``n_states_orig[b]`` is the real (pre-padding) length of member
+    ``b``; ``target`` is the padded stack length.  ``layout`` is the
+    compiled stacked-block layout for the odd-even method, or ``None``
+    for ``exact_obs`` (associative) buckets, whose stacking path pads
+    physically.
+    """
+
+    indices: list[int]
+    n_states_orig: list[int]
+    target: int
+    layout: BucketLayout | None
+    signature: tuple
+
+
+@dataclass
+class SmoothPlan:
+    """Everything ``smooth_many`` decides before touching numbers."""
+
+    key: tuple
+    pad: bool
+    exact_obs: bool
+    n_problems: int
+    buckets: list[BucketPlan]
+
+    def nbytes(self) -> int:
+        """Total preallocated workspace footprint (diagnostics)."""
+        return sum(
+            bp.layout.nbytes()
+            for bp in self.buckets
+            if bp.layout is not None
+        )
+
+
+def build_plan(
+    problems: list[StateSpaceProblem],
+    pad: bool = True,
+    exact_obs: bool = False,
+) -> SmoothPlan:
+    """Run the structure pipeline once and record it as a plan.
+
+    Buckets via :func:`bucket_problems` (the same decisions the
+    un-planned path makes), compiles each odd-even bucket's layout
+    from its padded members, and discards the padded problem objects
+    — replays never construct them again.
+    """
+    problems = list(problems)
+    key = workload_key(problems, pad=pad, exact_obs=exact_obs)
+    buckets = bucket_problems(problems, pad=pad, exact_obs=exact_obs)
+    plans = []
+    for bucket in buckets:
+        layout = None if exact_obs else build_bucket_layout(bucket)
+        plans.append(
+            BucketPlan(
+                indices=list(bucket.indices),
+                n_states_orig=list(bucket.n_states_orig),
+                target=bucket.n_states,
+                layout=layout,
+                signature=bucket.signature,
+            )
+        )
+    return SmoothPlan(
+        key=key,
+        pad=bool(pad),
+        exact_obs=bool(exact_obs),
+        n_problems=len(problems),
+        buckets=plans,
+    )
+
+
+class PlanCache:
+    """Thread-safe LRU cache of :class:`SmoothPlan` by workload key.
+
+    ``get_or_build`` is the one entry point the smoother uses; hits
+    move the entry to the most-recently-used position, misses build
+    outside the lock (a racing duplicate build is benign — last one
+    wins) and evict the least-recently-used entries beyond
+    ``maxsize``.  Counters (:attr:`hits`/:attr:`misses`/
+    :attr:`evictions`) feed the plan diagnostics recorded by the
+    bench harness.
+    """
+
+    def __init__(self, maxsize: int = 128):
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = int(maxsize)
+        self._plans: OrderedDict[tuple, SmoothPlan] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get_or_build(
+        self, key: tuple, builder: Callable[[], SmoothPlan]
+    ) -> tuple[SmoothPlan, bool]:
+        """Return ``(plan, was_hit)`` for ``key``, building on a miss."""
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self._plans.move_to_end(key)
+                self.hits += 1
+                return plan, True
+        plan = builder()
+        with self._lock:
+            self.misses += 1
+            self._plans[key] = plan
+            self._plans.move_to_end(key)
+            while len(self._plans) > self.maxsize:
+                self._plans.popitem(last=False)
+                self.evictions += 1
+        return plan, False
+
+    def get(self, key: tuple) -> SmoothPlan | None:
+        """Peek without building (does not count as a hit or miss)."""
+        with self._lock:
+            return self._plans.get(key)
+
+    def clear(self) -> None:
+        """Drop every cached plan and reset the counters."""
+        with self._lock:
+            self._plans.clear()
+            self.hits = self.misses = self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._plans
+
+    def stats(self) -> dict:
+        """Counters plus footprint, in the shape the benches record."""
+        with self._lock:
+            nbytes = sum(p.nbytes() for p in self._plans.values())
+            return {
+                "size": len(self._plans),
+                "maxsize": self.maxsize,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": (
+                    self.hits / (self.hits + self.misses)
+                    if (self.hits + self.misses)
+                    else 0.0
+                ),
+                "workspace_bytes": nbytes,
+            }
+
+
+_DEFAULT_CACHE: PlanCache | None = None
+_DEFAULT_LOCK = threading.Lock()
+
+
+def default_plan_cache() -> PlanCache:
+    """The process-wide cache ``EstimatorConfig.resolve()`` defaults to."""
+    global _DEFAULT_CACHE
+    with _DEFAULT_LOCK:
+        if _DEFAULT_CACHE is None:
+            _DEFAULT_CACHE = PlanCache()
+        return _DEFAULT_CACHE

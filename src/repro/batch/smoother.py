@@ -13,6 +13,22 @@ on a thread pool, or under the recording backend whose task graph
 (with batch-scaled kernel costs) the modeled-machine scheduler can
 replay.
 
+Two serving optimizations layer on top of the stacked kernels:
+
+* **Plan caching** — the structure-only preamble (signatures, bucket
+  grouping, padding, workspace allocation) is compiled once per
+  workload structure into a :class:`~repro.batch.plan.SmoothPlan` and
+  replayed from the :class:`~repro.batch.plan.PlanCache` threaded
+  through :class:`~repro.api.EstimatorConfig`.  Replays are exact:
+  planned and unplanned results agree bit for bit.
+* **Mixed precision** — ``EstimatorConfig(dtype=np.float32)`` (or
+  ``dtype="mixed"`` for float64 outputs) runs the factorization and
+  solves in float32 and recovers float64-level means with
+  :attr:`refine_steps` sweeps of corrected-seminormal-equations
+  iterative refinement against the float32 factor (Björck's CSNE: the
+  float64 residual is pushed through ``R^T y = A^T r`` and
+  ``R d = y``, both reusing the existing odd-even factor).
+
 Unlike the per-sequence smoothers — whose default
 :meth:`~repro.api.SmootherBase.smooth_many` simply loops — this class
 overrides ``smooth_many`` with the stacked kernels (capability flag
@@ -21,20 +37,120 @@ overrides ``smooth_many`` with the stacked kernels (capability flag
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from ..api import Capabilities, EstimatorConfig, SmootherBase
 from ..api.base import _cast_result
 from ..core.oddeven_qr import oddeven_factorize
 from ..core.selinv import selinv_oddeven
-from ..core.solve import oddeven_back_substitute
+from ..core.solve import oddeven_back_substitute, oddeven_rt_solve
 from ..kalman.result import SmootherResult
-from ..model.problem import StateSpaceProblem
+from ..linalg.triangular import instrumented_matvec, mat_transpose
+from ..model.problem import (
+    StateSpaceProblem,
+    WhitenedProblem,
+    WhitenedStep,
+)
 from ..parallel.backend import Backend
 from .associative import batched_associative_smooth
-from .stacking import Bucket, bucket_problems, stack_whitened
+from .plan import build_plan, workload_key
+from .stacking import BucketLayout, bucket_problems, pad_problem, stack_whitened
 
 __all__ = ["BatchSmoother"]
+
+
+def _cast_white(white: WhitenedProblem, dtype) -> WhitenedProblem:
+    """Copy of a whitened problem with every block cast to ``dtype``."""
+    steps = []
+    for ws in white.steps:
+        step = WhitenedStep(
+            index=ws.index,
+            n=ws.n,
+            C=ws.C.astype(dtype),
+            rhs_C=ws.rhs_C.astype(dtype),
+        )
+        if ws.B is not None:
+            step.B = ws.B.astype(dtype)
+            step.D = ws.D.astype(dtype)
+            step.rhs_BD = ws.rhs_BD.astype(dtype)
+        steps.append(step)
+    return WhitenedProblem(steps=steps)
+
+
+def _residuals(
+    white: WhitenedProblem, x: list[np.ndarray]
+) -> tuple[list[np.ndarray], list[np.ndarray | None]]:
+    """Whitened equation residuals at ``x``, computed in float64.
+
+    Returns per-step observation residuals ``rhs_C - C x_i`` and
+    evolution residuals ``rhs_BD - (D x_i - B x_{i-1})`` (``None`` at
+    step 0).  ``white`` must hold float64 blocks; promotion keeps the
+    arithmetic in double even when ``x`` came from a float32 solve.
+    """
+    k = len(white.steps)
+    s_obs = [
+        white.steps[i].rhs_C
+        - instrumented_matvec(white.steps[i].C, x[i])
+        for i in range(k)
+    ]
+    s_evo: list[np.ndarray | None] = [None]
+    for i in range(1, k):
+        ws = white.steps[i]
+        s_evo.append(
+            ws.rhs_BD
+            - instrumented_matvec(ws.D, x[i])
+            + instrumented_matvec(ws.B, x[i - 1])
+        )
+    return s_obs, s_evo
+
+
+def _refine(
+    white: WhitenedProblem,
+    factor,
+    means: list[np.ndarray],
+    backend: Backend | None,
+    steps: int,
+) -> tuple[list[np.ndarray], np.ndarray]:
+    """CSNE iterative refinement of a float32 solve, in float64.
+
+    Each sweep computes the float64 residual ``r = b - A x``, the
+    gradient ``w = A^T r``, and the correction ``d`` from
+    ``R^T y = w`` (forward sweep over the factor's elimination levels)
+    followed by ``R d = y`` (ordinary back substitution with a custom
+    right-hand side) — both reusing the float32 odd-even factor, so a
+    sweep costs a few GEMVs plus two structured triangular solves.
+    Returns the refined means and the float64 residual sum of squares
+    recomputed at the refined solution (the float32 factor's
+    accumulated residual is not accurate enough to report).
+    """
+    x = [np.asarray(m, dtype=np.float64) for m in means]
+    k = len(white.steps)
+    for _ in range(max(steps, 0)):
+        s_obs, s_evo = _residuals(white, x)
+        w = []
+        for i in range(k):
+            ws = white.steps[i]
+            wi = instrumented_matvec(mat_transpose(ws.C), s_obs[i])
+            if i >= 1:
+                wi = wi + instrumented_matvec(
+                    mat_transpose(white.steps[i].D), s_evo[i]
+                )
+            if i + 1 < k:
+                wi = wi - instrumented_matvec(
+                    mat_transpose(white.steps[i + 1].B), s_evo[i + 1]
+                )
+            w.append(wi)
+        y = oddeven_rt_solve(factor, w, backend)
+        d = oddeven_back_substitute(factor, backend, rhs=y)
+        x = [x[i] + d[i] for i in range(k)]
+    s_obs, s_evo = _residuals(white, x)
+    residual = sum(np.sum(s * s, axis=-1) for s in s_obs)
+    residual = residual + sum(
+        np.sum(s * s, axis=-1) for s in s_evo if s is not None
+    )
+    return x, np.atleast_1d(residual)
 
 
 class BatchSmoother(SmootherBase):
@@ -60,6 +176,13 @@ class BatchSmoother(SmootherBase):
         :mod:`repro.batch.stacking`).  ``False`` buckets only
         structurally-identical problems.  A per-call
         :class:`~repro.api.EstimatorConfig` overrides either option.
+    refine_steps:
+        Number of float64 iterative-refinement sweeps applied after a
+        float32 solve (``EstimatorConfig.dtype`` of ``numpy.float32``
+        or ``"mixed"``).  One sweep (the default) recovers ~1e-8
+        agreement with the float64 pipeline on the stability suite's
+        ill-conditioned problems; ``0`` disables refinement (raw
+        float32 accuracy).  Ignored for float64 solves.
 
     Notes
     -----
@@ -67,6 +190,13 @@ class BatchSmoother(SmootherBase):
     integration tests pin this at ``1e-8``); the win is throughput —
     every recursion level's thousands of tiny QR/solve calls collapse
     into a few stacked LAPACK calls (see ``repro.bench.batch``).
+
+    After each ``smooth_many`` the instance exposes
+    :attr:`last_diagnostics`: plan-cache outcome (hit/miss + cache
+    counters) and per-phase wall-clock timings (``plan``, ``stack``,
+    ``factorize``, ``solve``, ``refine``, ``selinv``, ``scan``) — the
+    observability hook the plan-cache bench records to
+    ``results/plan_cache.json``.
     """
 
     def __init__(
@@ -74,6 +204,7 @@ class BatchSmoother(SmootherBase):
         method: str = "odd-even",
         compute_covariance: bool = True,
         pad: bool = True,
+        refine_steps: int = 1,
     ):
         if method not in ("odd-even", "associative"):
             raise ValueError(
@@ -93,10 +224,17 @@ class BatchSmoother(SmootherBase):
                 "already raises"
             )
             compute_covariance = True
+        if refine_steps < 0:
+            raise ValueError(
+                f"refine_steps must be >= 0, got {refine_steps}"
+            )
         self.method = method
         self.compute_covariance = compute_covariance
         self.pad = pad
+        self.refine_steps = int(refine_steps)
         self.name = f"batch-{method}"
+        #: diagnostics of the most recent ``smooth_many`` call
+        self.last_diagnostics: dict | None = None
         self.capabilities = (
             Capabilities(batched=True)
             if method == "odd-even"
@@ -125,7 +263,7 @@ class BatchSmoother(SmootherBase):
         config, legacy = self._shim_legacy(backend, None, config)
         resolved = self._resolve(None, config, legacy=legacy)
         return [
-            _cast_result(r, resolved.dtype)
+            _cast_result(r, resolved.output_dtype)
             for r in self._smooth_workload(list(problems), resolved)
         ]
 
@@ -136,87 +274,193 @@ class BatchSmoother(SmootherBase):
         return self._smooth_workload([problem], config)[0]
 
     # ------------------------------------------------------------------
-    # per-bucket engines
+    # workload orchestration
     # ------------------------------------------------------------------
     def _smooth_workload(
         self, problems: list[StateSpaceProblem], config: EstimatorConfig
     ) -> list[SmootherResult]:
+        phases = {
+            "plan": 0.0,
+            "stack": 0.0,
+            "factorize": 0.0,
+            "solve": 0.0,
+            "refine": 0.0,
+            "selinv": 0.0,
+            "scan": 0.0,
+        }
+        diag: dict = {
+            "workload": len(problems),
+            "plan_cache": {"enabled": False, "hit": None},
+            "phases": phases,
+        }
+        self.last_diagnostics = diag
+        if not problems:
+            return []
+        t_start = time.perf_counter()
+        exact = self.method == "associative"
+        # NB: PlanCache defines __len__, so an *empty* cache is falsy;
+        # test identity against the disabled sentinels, not truthiness.
+        cache = config.plan_cache
+        if cache is False or cache is None:
+            cache = None
         results: list[SmootherResult | None] = [None] * len(problems)
-        buckets = bucket_problems(
-            problems,
-            pad=config.pad,
-            exact_obs=(self.method == "associative"),
-        )
-        for bucket in buckets:
-            for idx, result in zip(
-                bucket.indices, self._smooth_bucket(bucket, config)
-            ):
+        t0 = time.perf_counter()
+        if cache is not None:
+            key = workload_key(problems, pad=config.pad, exact_obs=exact)
+            plan, hit = cache.get_or_build(
+                key,
+                lambda: build_plan(
+                    problems, pad=config.pad, exact_obs=exact
+                ),
+            )
+            phases["plan"] += time.perf_counter() - t0
+            diag["plan_cache"] = {
+                "enabled": True,
+                "hit": hit,
+                **cache.stats(),
+            }
+            groups = [
+                (bp.indices, bp.n_states_orig, bp.target, bp.layout)
+                for bp in plan.buckets
+            ]
+        else:
+            buckets = bucket_problems(
+                problems, pad=config.pad, exact_obs=exact
+            )
+            phases["plan"] += time.perf_counter() - t0
+            groups = [
+                (b.indices, b.n_states_orig, b.n_states, None)
+                for b in buckets
+            ]
+            # The un-planned path smooths the physically padded
+            # problems bucket_problems built.
+            padded_by_bucket = [b.problems for b in buckets]
+        for g, (indices, n_orig, target, layout) in enumerate(groups):
+            if cache is not None:
+                members = [problems[j] for j in indices]
+                if exact or layout is None:
+                    members = [pad_problem(p, target) for p in members]
+            else:
+                members = padded_by_bucket[g]
+            if exact:
+                out = self._associative_stack(
+                    members, n_orig, target, config, phases
+                )
+            else:
+                out = self._oddeven_stack(
+                    members, indices, n_orig, target, layout, config,
+                    phases,
+                )
+            for idx, result in zip(indices, out):
                 results[idx] = result
+        diag["total_s"] = time.perf_counter() - t_start
         return results  # type: ignore[return-value]
 
-    def _smooth_bucket(
-        self, bucket: Bucket, config: EstimatorConfig
-    ) -> list[SmootherResult]:
-        if self.method == "associative":
-            return self._bucket_associative(bucket, config.backend)
-        return self._bucket_oddeven(bucket, config)
-
-    def _bucket_oddeven(
-        self, bucket: Bucket, config: EstimatorConfig
+    # ------------------------------------------------------------------
+    # per-bucket engines
+    # ------------------------------------------------------------------
+    def _oddeven_stack(
+        self,
+        members: list[StateSpaceProblem],
+        indices: list[int],
+        n_orig: list[int],
+        target: int,
+        layout: BucketLayout | None,
+        config: EstimatorConfig,
+        phases: dict,
     ) -> list[SmootherResult]:
         backend = config.backend
         want_cov = config.compute_covariance
-        white = stack_whitened(bucket.problems)
+        mixed = config.solve_dtype is not None and (
+            np.dtype(config.solve_dtype) == np.float32
+        )
+        t0 = time.perf_counter()
+        white = stack_whitened(members, layout=layout)
+        phases["stack"] += time.perf_counter() - t0
+        white_solve = _cast_white(white, np.float32) if mixed else white
         try:
-            factor = oddeven_factorize(white, backend)
+            t0 = time.perf_counter()
+            factor = oddeven_factorize(white_solve, backend)
+            phases["factorize"] += time.perf_counter() - t0
+            t0 = time.perf_counter()
             means = oddeven_back_substitute(factor, backend)
+            phases["solve"] += time.perf_counter() - t0
+            residual = np.atleast_1d(factor.residual_sq)
+            if mixed:
+                t0 = time.perf_counter()
+                means, residual = _refine(
+                    white, factor, means, backend, self.refine_steps
+                )
+                phases["refine"] += time.perf_counter() - t0
             covs = None
             if want_cov:
+                t0 = time.perf_counter()
                 covs = list(selinv_oddeven(factor, backend).diagonal)
+                phases["selinv"] += time.perf_counter() - t0
         except np.linalg.LinAlgError as exc:
             slices = getattr(exc, "batch_slices", None)
             if not slices:
                 raise
             culprits = [
-                bucket.indices[s]
+                indices[s]
                 for s in slices
-                if isinstance(s, int) and s < bucket.batch
+                if isinstance(s, int) and s < len(indices)
             ]
             raise np.linalg.LinAlgError(
                 f"{exc} (problem index(es) {culprits} of the "
                 "smooth_many workload)"
             ) from exc
-        residual = np.atleast_1d(factor.residual_sq)
+        algorithm = "batch-odd-even" + ("" if want_cov else "-nc")
+        depth = factor.depth()
         out = []
-        for b, n_states in enumerate(bucket.n_states_orig):
+        for b, n_states in enumerate(n_orig):
             out.append(
                 SmootherResult(
-                    means=[means[i][b] for i in range(n_states)],
+                    means=[
+                        np.asarray(means[i][b], dtype=np.float64)
+                        for i in range(n_states)
+                    ],
                     covariances=(
-                        [covs[i][b] for i in range(n_states)]
+                        [
+                            np.asarray(covs[i][b], dtype=np.float64)
+                            for i in range(n_states)
+                        ]
                         if covs is not None
                         else None
                     ),
                     residual_sq=float(residual[b]),
-                    algorithm="batch-odd-even"
-                    + ("" if want_cov else "-nc"),
+                    algorithm=algorithm,
                     diagnostics={
-                        "batch": bucket.batch,
-                        "levels": factor.depth(),
-                        "padded_states": bucket.n_states - n_states,
+                        "batch": len(members),
+                        "levels": depth,
+                        "padded_states": target - n_states,
+                        "solve_dtype": (
+                            "float32" if mixed else "float64"
+                        ),
+                        "refine_steps": (
+                            self.refine_steps if mixed else 0
+                        ),
+                        "planned": layout is not None,
                     },
                 )
             )
         return out
 
-    def _bucket_associative(
-        self, bucket: Bucket, backend: Backend
+    def _associative_stack(
+        self,
+        members: list[StateSpaceProblem],
+        n_orig: list[int],
+        target: int,
+        config: EstimatorConfig,
+        phases: dict,
     ) -> list[SmootherResult]:
+        t0 = time.perf_counter()
         means, covs = batched_associative_smooth(
-            bucket.problems, backend
+            members, config.backend
         )
+        phases["scan"] += time.perf_counter() - t0
         out = []
-        for b, n_states in enumerate(bucket.n_states_orig):
+        for b, n_states in enumerate(n_orig):
             out.append(
                 SmootherResult(
                     means=[means[i][b] for i in range(n_states)],
@@ -224,8 +468,8 @@ class BatchSmoother(SmootherBase):
                     residual_sq=None,
                     algorithm="batch-associative",
                     diagnostics={
-                        "batch": bucket.batch,
-                        "padded_states": bucket.n_states - n_states,
+                        "batch": len(members),
+                        "padded_states": target - n_states,
                     },
                 )
             )

@@ -9,21 +9,34 @@ sequences into stacked kernels, so throughput should grow with the
 batch size until the kernels are large enough to amortize the
 overheads.
 
+A second benchmark, :func:`plan_cache_amortization`, measures what the
+compiled-plan layer (:mod:`repro.batch.plan`) buys on serving-shaped
+traffic: the *same* window structure solved flush after flush, where
+the structure-only preamble (signatures, bucketing, padding, workspace
+allocation) is pure overhead after the first call.  It reports cold
+(un-planned, the pre-plan-layer path) vs warm (cached plan replayed)
+throughput, the per-phase timing split from
+``BatchSmoother.last_diagnostics``, and the cache counters.
+
 Run as a module for the table + JSON artifact::
 
     PYTHONPATH=src python -m repro.bench.batch            # full sweep
     PYTHONPATH=src python -m repro.bench.batch --quick    # CI smoke
+    PYTHONPATH=src python -m repro.bench.batch --plan     # plan cache
+    PYTHONPATH=src python -m repro.bench.batch --plan-quick  # CI smoke
 
-Results are persisted to ``results/batch_throughput.json``.
+Results are persisted to ``results/batch_throughput.json`` and
+``results/plan_cache.json``.
 """
 
 from __future__ import annotations
 
-from ..api import make_smoother
+from ..api import EstimatorConfig, make_smoother
+from ..batch.plan import PlanCache
 from ..model.generators import random_problem
 from .harness import ascii_curve, format_series_table, median_time, save_results
 
-__all__ = ["batch_throughput", "main"]
+__all__ = ["batch_throughput", "plan_cache_amortization", "main"]
 
 DEFAULT_BATCH_SIZES = (1, 4, 16, 64, 256)
 
@@ -90,6 +103,116 @@ def batch_throughput(
     return record
 
 
+def plan_cache_amortization(
+    batch: int = 64,
+    k: int = 7,
+    n: int = 4,
+    repeats: int = 9,
+    compute_covariance: bool = True,
+    result_name: str = "plan_cache",
+) -> dict:
+    """Cold vs warm ``smooth_many`` throughput under the plan cache.
+
+    The workload is serving-shaped — many short identical-structure
+    windows per call, the regime of :class:`~repro.stream.StreamServer`
+    flushes — where the structure preamble dominates.  "Cold" is the
+    un-planned path (``plan_cache=False``): bucketing, padding, and
+    per-slice whitener construction on every call, exactly what every
+    call paid before the plan layer existed.  "Rebuild" compiles a
+    fresh plan each call (a never-hitting cache); "warm" replays one
+    cached plan through the preallocated workspaces.  Returns (and
+    persists) the medians, the warm/cold speedup, per-phase timings of
+    a warm call, and the cache counters; the quick CI run asserts a
+    non-zero hit rate on this record.
+    """
+    smoother = make_smoother(
+        "batch-odd-even", compute_covariance=compute_covariance
+    )
+    problems = _workload(batch, k, n)
+
+    def rebuild_call():
+        # A fresh single-use cache per call: pays the full plan build
+        # but still stacks through the compiled layout.
+        smoother.smooth_many(
+            problems, config=EstimatorConfig(plan_cache=PlanCache())
+        )
+
+    def cold_call():
+        smoother.smooth_many(
+            problems, config=EstimatorConfig(plan_cache=False)
+        )
+
+    cache = PlanCache()
+    warm_config = EstimatorConfig(plan_cache=cache)
+
+    def warm_call():
+        smoother.smooth_many(problems, config=warm_config)
+
+    warm_call()  # populate the cache; every timed call below is a hit
+    t_cold = median_time(cold_call, repeats=repeats)
+    t_rebuild = median_time(rebuild_call, repeats=repeats)
+    t_warm = median_time(warm_call, repeats=repeats)
+    phases = dict(smoother.last_diagnostics["phases"])
+    record = {
+        "workload": {
+            "batch": batch,
+            "k": k,
+            "n": n,
+            "repeats": repeats,
+            "compute_covariance": compute_covariance,
+        },
+        "cold_seconds": t_cold,
+        "rebuild_seconds": t_rebuild,
+        "warm_seconds": t_warm,
+        "cold_seq_per_sec": batch / t_cold,
+        "rebuild_seq_per_sec": batch / t_rebuild,
+        "warm_seq_per_sec": batch / t_warm,
+        "warm_vs_cold_speedup": t_cold / t_warm,
+        "warm_vs_rebuild_speedup": t_rebuild / t_warm,
+        "warm_phases_seconds": phases,
+        "cache": cache.stats(),
+    }
+    save_results(result_name, record)
+    return record
+
+
+def _print_plan_record(record: dict) -> None:
+    w = record["workload"]
+    print(
+        f"Plan-cache amortization (batch={w['batch']}, k={w['k']}, "
+        f"n={w['n']})"
+    )
+    for label, key in (
+        ("cold (no plan layer)", "cold"),
+        ("rebuild (plan built/call)", "rebuild"),
+        ("warm (plan replayed)", "warm"),
+    ):
+        print(
+            f"  {label:28s} {record[key + '_seconds'] * 1e3:8.2f} ms"
+            f"  {record[key + '_seq_per_sec']:10.1f} seq/s"
+        )
+    print(
+        f"  warm/cold speedup {record['warm_vs_cold_speedup']:.2f}x, "
+        f"warm/rebuild {record['warm_vs_rebuild_speedup']:.2f}x"
+    )
+    phases = record["warm_phases_seconds"]
+    total = sum(phases.values()) or 1.0
+    split = ", ".join(
+        f"{name} {t / total:.0%}"
+        for name, t in sorted(
+            phases.items(), key=lambda kv: -kv[1]
+        )
+        if t > 0
+    )
+    print(f"  warm phase split: {split}")
+    stats = record["cache"]
+    print(
+        f"  cache: {stats['hits']} hits / {stats['misses']} miss "
+        f"(hit rate {stats['hit_rate']:.2f}), "
+        f"{stats['workspace_bytes'] / 1024:.1f} KiB workspaces"
+    )
+
+
 def main(argv: list[str] | None = None) -> None:
     import argparse
 
@@ -101,7 +224,33 @@ def main(argv: list[str] | None = None) -> None:
         action="store_true",
         help="tiny sweep for CI smoke runs",
     )
+    parser.add_argument(
+        "--plan",
+        action="store_true",
+        help="plan-cache amortization benchmark",
+    )
+    parser.add_argument(
+        "--plan-quick",
+        action="store_true",
+        help="small plan-cache run for CI (asserts a warm hit rate)",
+    )
     args = parser.parse_args(argv)
+    if args.plan or args.plan_quick:
+        if args.plan_quick:
+            record = plan_cache_amortization(
+                batch=16,
+                k=7,
+                n=3,
+                repeats=3,
+                result_name="plan_cache_quick",
+            )
+            assert record["cache"]["hit_rate"] > 0, (
+                "plan cache never hit on a repeated-structure workload"
+            )
+        else:
+            record = plan_cache_amortization()
+        _print_plan_record(record)
+        return
     if args.quick:
         record = batch_throughput(
             batch_sizes=(1, 8),

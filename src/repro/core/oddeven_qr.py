@@ -61,8 +61,15 @@ def _vcat(*blocks: np.ndarray) -> np.ndarray:
 
 
 def _zeros_rows(template: np.ndarray, rows: int, cols: int) -> np.ndarray:
-    """A zero block of ``rows x cols`` sharing ``template``'s batch shape."""
-    return np.zeros(template.shape[:-2] + (rows, cols))
+    """A zero block of ``rows x cols`` sharing ``template``'s batch shape.
+
+    The zeros inherit ``template``'s dtype: a float64 zero block
+    concatenated into a float32 pivot would silently promote the whole
+    elimination to double precision.
+    """
+    return np.zeros(
+        template.shape[:-2] + (rows, cols), dtype=template.dtype
+    )
 
 
 def _with_rhs(mat: np.ndarray, rhs: np.ndarray) -> np.ndarray:
@@ -95,12 +102,16 @@ class _EvoRows:
 
     @classmethod
     def empty(
-        cls, n_left: int, n_right: int, batch_shape: tuple = ()
+        cls,
+        n_left: int,
+        n_right: int,
+        batch_shape: tuple = (),
+        dtype=np.float64,
     ) -> "_EvoRows":
         return cls(
-            nb=np.zeros(batch_shape + (0, n_left)),
-            d=np.zeros(batch_shape + (0, n_right)),
-            rhs=np.zeros(batch_shape + (0,)),
+            nb=np.zeros(batch_shape + (0, n_left), dtype=dtype),
+            d=np.zeros(batch_shape + (0, n_right), dtype=dtype),
+            rhs=np.zeros(batch_shape + (0,), dtype=dtype),
         )
 
     @property
@@ -403,6 +414,7 @@ def oddeven_factorize(
                     new_columns[t - 1].n,
                     new_columns[t].n,
                     batch_shape,
+                    dtype=new_columns[t].c.dtype,
                 )
             if t < len(new_columns):
                 new_evos.append(evo)

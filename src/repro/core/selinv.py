@@ -145,7 +145,7 @@ def selinv_oddeven(
         # Assemble S_II from previously-computed deeper-level blocks.
         sizes = [factor.dims[c] for c in i_cols]
         total = sum(sizes)
-        s_ii = np.zeros(row.batch_shape + (total, total))
+        s_ii = np.zeros(row.batch_shape + (total, total), dtype=base.dtype)
         offs = np.concatenate([[0], np.cumsum(sizes)])
         for a_idx, a in enumerate(i_cols):
             for b_idx, b in enumerate(i_cols):

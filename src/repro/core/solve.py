@@ -16,12 +16,14 @@ import numpy as np
 from ..linalg.triangular import (
     check_triangular_system,
     instrumented_matvec,
+    mat_transpose,
     solve_upper,
+    solve_upper_transpose,
 )
 from ..parallel.backend import Backend, SerialBackend
 from .rfactor import OddEvenR, RBlockRow
 
-__all__ = ["oddeven_back_substitute", "square_diag"]
+__all__ = ["oddeven_back_substitute", "oddeven_rt_solve", "square_diag"]
 
 
 def square_diag(row: RBlockRow) -> np.ndarray:
@@ -44,13 +46,25 @@ def square_diag(row: RBlockRow) -> np.ndarray:
 
 
 def oddeven_back_substitute(
-    factor: OddEvenR, backend: Backend | None = None
+    factor: OddEvenR,
+    backend: Backend | None = None,
+    rhs: list[np.ndarray] | None = None,
 ) -> list[np.ndarray]:
     """Solve for all smoothed states from an odd-even factor.
 
     Returns the states in natural (original) order.  For a batched
     factor (see :mod:`repro.batch`) every state is a ``(B, n)`` stack
     and every triangular solve runs batched over the ``B`` sequences.
+
+    Parameters
+    ----------
+    rhs:
+        Optional replacement right-hand side: a list indexed by
+        original column with one length-``n_i`` vector (or batched
+        ``(B, n_i)`` stack) per state.  Defaults to the factor's own
+        transformed RHS ``Q^T U b``.  The iterative-refinement path
+        reuses the factor against correction right-hand sides this
+        way (``R d = y``) without mutating the factor.
     """
     if backend is None:
         backend = SerialBackend()
@@ -59,13 +73,16 @@ def oddeven_back_substitute(
     def solve_column(col: int) -> tuple[int, np.ndarray]:
         row = factor.rows[col]
         diag = square_diag(row)
-        rhs = row.rhs[..., : row.n].copy()
+        if rhs is None:
+            b = row.rhs[..., : row.n].copy()
+        else:
+            b = np.asarray(rhs[col])[..., : row.n].copy()
         for other, block in row.offdiag:
             contribution = instrumented_matvec(
                 block[..., : row.n, :], states[other]
             )
-            rhs -= contribution
-        return col, solve_upper(diag, rhs)
+            b = b - contribution
+        return col, solve_upper(diag, b)
 
     for level_idx in reversed(range(len(factor.levels))):
         cols = factor.levels[level_idx]
@@ -77,3 +94,63 @@ def oddeven_back_substitute(
         for col, u in results:
             states[col] = u
     return [s for s in states]  # type: ignore[return-value]
+
+
+def oddeven_rt_solve(
+    factor: OddEvenR,
+    rhs: list[np.ndarray],
+    backend: Backend | None = None,
+) -> list[np.ndarray]:
+    """Solve ``(R P^T)^T y = w`` against the odd-even factor.
+
+    The forward (transpose) sweep of the factor: columns are processed
+    in *elimination* order — the reverse of back substitution —
+    because each block row's off-diagonal entries reference only
+    columns eliminated at deeper levels.  Solving column ``i`` first
+    therefore lets its couplings be subtracted from the deeper
+    columns' right-hand sides before they are solved.
+
+    Together with :func:`oddeven_back_substitute` (called with a
+    custom ``rhs``) this gives the corrected-seminormal-equations step
+    of iterative refinement: ``R^T y = A^T r`` then ``R d = y`` reuse
+    the existing factor, so one refinement sweep costs a few GEMVs
+    plus two structured triangular solves — no re-factorization.
+
+    Parameters
+    ----------
+    rhs:
+        List indexed by original column with one length-``n_i`` vector
+        (or batched ``(B, n_i)`` stack) per state.  Not mutated.
+
+    Returns
+    -------
+    list of arrays in natural column order, matching ``rhs`` shapes.
+    """
+    if backend is None:
+        backend = SerialBackend()
+    w: list[np.ndarray] = [np.asarray(x).copy() for x in rhs]
+    y: list[np.ndarray | None] = [None] * len(factor.dims)
+
+    for level_idx, cols in enumerate(factor.levels):
+
+        def solve_column_t(col: int) -> tuple[int, np.ndarray]:
+            row = factor.rows[col]
+            diag = square_diag(row)
+            return col, solve_upper_transpose(diag, w[col])
+
+        results = backend.map(
+            cols,
+            solve_column_t,
+            phase=f"oddeven/rtsolve/L{level_idx}",
+        )
+        for col, sol in results:
+            y[col] = sol
+        # Propagate this level's couplings into the not-yet-solved
+        # (deeper-level) columns' right-hand sides.
+        for col, sol in results:
+            row = factor.rows[col]
+            for other, block in row.offdiag:
+                w[other] = w[other] - instrumented_matvec(
+                    mat_transpose(block[..., : row.n, :]), sol
+                )
+    return [s for s in y]  # type: ignore[return-value]

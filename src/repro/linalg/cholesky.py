@@ -21,13 +21,14 @@ from scipy.linalg import cho_factor, cholesky as _cholesky
 
 from ..parallel.tally import add_cost
 from .flops import cholesky_flops, trsm_bytes, trsm_flops
-from .triangular import solve_lower
+from .triangular import as_working_dtype, solve_lower
 
 __all__ = [
     "spd_cholesky",
     "spd_solve",
     "Whitener",
     "stack_whiten",
+    "stack_whiten_prepared",
     "whiten_packed",
 ]
 
@@ -186,7 +187,7 @@ class Whitener:
 
     def whiten(self, block: np.ndarray) -> np.ndarray:
         """Return ``V @ block`` (= ``S^{-1} block``, a triangular solve)."""
-        block = np.asarray(block, dtype=float)
+        block = as_working_dtype(block)
         rows = block.shape[0]
         if rows != self.dim:
             raise ValueError(
@@ -195,11 +196,13 @@ class Whitener:
             )
         if self._factor is None:
             if self.kind == "identity" or self.scale == 1.0:
-                return block.astype(float, copy=True)
+                return block.copy()
             k = 1 if block.ndim == 1 else block.shape[1]
             add_cost(float(rows) * k, trsm_bytes(rows, k))
-            return block / self.scale
-        return solve_lower(self._factor, block)
+            return block / block.dtype.type(self.scale)
+        return solve_lower(
+            self._factor.astype(block.dtype, copy=False), block
+        )
 
     def covariance(self) -> np.ndarray:
         """Materialize the covariance this whitener corresponds to."""
@@ -239,7 +242,7 @@ def stack_whiten(
     the stack is just scaled.  Slice ``b`` of the result equals
     ``whiteners[b].whiten(block_stack[b])`` to roundoff.
     """
-    block_stack = np.asarray(block_stack, dtype=float)
+    block_stack = as_working_dtype(block_stack)
     if block_stack.ndim != 3:
         raise ValueError(
             f"expected a (B, rows, cols) stack, got {block_stack.shape}"
@@ -257,18 +260,58 @@ def stack_whiten(
                 f"{w.what} whitener"
             )
     if not whiteners or rows == 0 or block_stack.shape[2] == 0:
-        return block_stack.astype(float, copy=True)
+        return block_stack.copy()
     if all(w._factor is None for w in whiteners):
         scales = np.array(
             [
                 w.scale if w.kind == "scaled_identity" else 1.0
                 for w in whiteners
-            ]
+            ],
+            dtype=block_stack.dtype,
         )
         if np.all(scales == 1.0):
-            return block_stack.astype(float, copy=True)
+            return block_stack.copy()
         b, k = block_stack.shape[0], block_stack.shape[2]
         add_cost(float(b) * rows * k, b * trsm_bytes(rows, k))
         return block_stack / scales[:, None, None]
-    factors = np.stack([w.factor_matrix() for w in whiteners])
+    factors = np.stack([w.factor_matrix() for w in whiteners]).astype(
+        block_stack.dtype, copy=False
+    )
     return solve_lower(factors, block_stack)
+
+
+def stack_whiten_prepared(
+    block_stack: np.ndarray,
+    factors: np.ndarray | None = None,
+    scales: np.ndarray | None = None,
+) -> np.ndarray:
+    """:func:`stack_whiten` for a pre-assembled factor stack.
+
+    The plan-compiled stacking path (``repro.batch.stacking``) builds
+    the per-slice factor matrices directly into a reusable workspace
+    instead of constructing :class:`Whitener` objects per call; this
+    entry point applies them branch-for-branch like
+    :func:`stack_whiten` — one batched lower solve when ``factors``
+    is given, a scaling when ``scales`` is, a copy when every scale is
+    one — so the results (and recorded costs) are bit-for-bit
+    identical when the inputs hold the values ``factor_matrix()`` /
+    ``scale`` would have produced.
+    """
+    block_stack = as_working_dtype(block_stack)
+    rows = block_stack.shape[1]
+    if (
+        block_stack.shape[0] == 0
+        or rows == 0
+        or block_stack.shape[2] == 0
+    ):
+        return block_stack.copy()
+    if factors is not None:
+        return solve_lower(
+            factors.astype(block_stack.dtype, copy=False), block_stack
+        )
+    scales = scales.astype(block_stack.dtype, copy=False)
+    if np.all(scales == 1.0):
+        return block_stack.copy()
+    b, k = block_stack.shape[0], block_stack.shape[2]
+    add_cost(float(b) * rows * k, b * trsm_bytes(rows, k))
+    return block_stack / scales[:, None, None]

@@ -32,6 +32,7 @@ from scipy.linalg import get_lapack_funcs
 
 from ..parallel.tally import add_cost
 from .flops import qr_apply_flops, qr_bytes, qr_flops
+from .triangular import as_working_dtype
 
 __all__ = [
     "QRFactor",
@@ -46,7 +47,7 @@ __all__ = [
 
 
 def _as_matrix(a: np.ndarray) -> np.ndarray:
-    a = np.asarray(a, dtype=float)
+    a = as_working_dtype(a)
     if a.ndim == 1:
         a = a[:, None]
     if a.ndim != 2:
@@ -104,7 +105,7 @@ class QRFactor:
         return np.triu(self._qr[: self.n, :])
 
     def _apply(self, c: np.ndarray, trans: str) -> np.ndarray:
-        c = np.asarray(c, dtype=float)
+        c = as_working_dtype(c)
         vector = c.ndim == 1
         c2 = c[:, None] if vector else c
         if c2.shape[0] != self.m:
@@ -207,7 +208,7 @@ class BatchedQRFactor:
     """
 
     def __init__(self, a: np.ndarray, method: str = "auto"):
-        a = np.asarray(a, dtype=float)
+        a = as_working_dtype(a)
         if a.ndim != 3:
             raise ValueError(
                 f"expected a (B, m, n) stack, got array of ndim {a.ndim}"
@@ -219,15 +220,15 @@ class BatchedQRFactor:
         if self._nref == 0 or self.batch == 0:
             # Nothing to reduce in any slice: Q = I, R = a.
             self._q = np.broadcast_to(
-                np.eye(self.m), (self.batch, self.m, self.m)
+                np.eye(self.m, dtype=a.dtype), (self.batch, self.m, self.m)
             ).copy()
             self._r = a.copy()
         elif method == "loop":
-            qs = np.empty((self.batch, self.m, self.m))
-            rs = np.empty((self.batch, self.m, self.n))
+            qs = np.empty((self.batch, self.m, self.m), dtype=a.dtype)
+            rs = np.empty((self.batch, self.m, self.n), dtype=a.dtype)
             for b in range(self.batch):
                 qf = QRFactor(a[b])
-                qs[b] = qf.apply_q(np.eye(self.m))
+                qs[b] = qf.apply_q(np.eye(self.m, dtype=a.dtype))
                 rs[b, : self._nref] = qf.r
                 rs[b, self._nref :] = 0.0
             self._q = qs
@@ -263,7 +264,7 @@ class BatchedQRFactor:
         return np.triu(self._r[:, : self.n, :])
 
     def _apply(self, c: np.ndarray, trans: str) -> np.ndarray:
-        c = np.asarray(c, dtype=float)
+        c = as_working_dtype(c)
         vector = c.ndim == 2
         c2 = c[..., None] if vector else c
         if c2.ndim != 3 or c2.shape[:2] != (self.batch, self.m):
@@ -314,7 +315,7 @@ def qr_factor(a: np.ndarray) -> "QRFactor | BatchedQRFactor":
     how one code path in :mod:`repro.core.oddeven_qr` serves both the
     per-sequence and the batched smoothers.
     """
-    a = np.asarray(a, dtype=float)
+    a = as_working_dtype(a)
     if a.ndim <= 2:
         return QRFactor(a)
     return BatchedQRFactor(a)

@@ -19,6 +19,7 @@ from ..parallel.tally import add_cost
 from .flops import matmul_bytes, matmul_flops, trsm_bytes, trsm_flops
 
 __all__ = [
+    "as_working_dtype",
     "solve_upper",
     "solve_lower",
     "solve_upper_transpose",
@@ -30,6 +31,25 @@ __all__ = [
     "mat_transpose",
     "batch_count",
 ]
+
+
+def as_working_dtype(a) -> np.ndarray:
+    """Coerce to a floating working dtype, *preserving* ``float32``.
+
+    The historical idiom ``np.asarray(a, dtype=float)`` silently
+    promoted every input to ``float64``, which made the kernels
+    dtype-correct but froze out the mixed-precision fast path
+    (``EstimatorConfig.dtype``): a float32 stack entering a kernel came
+    out float64.  This helper keeps ``float32`` and ``float64`` inputs
+    as they are and promotes everything else (ints, object arrays,
+    lists) to ``float64`` — so existing float64 callers see identical
+    behavior while float32 pipelines stay in single precision end to
+    end.
+    """
+    a = np.asarray(a)
+    if a.dtype == np.float32 or a.dtype == np.float64:
+        return a
+    return np.asarray(a, dtype=np.float64)
 
 
 def mat_transpose(a: np.ndarray) -> np.ndarray:
@@ -80,7 +100,7 @@ def check_triangular_system(r: np.ndarray, what: str = "R") -> None:
 
 
 def _solve(r: np.ndarray, b: np.ndarray, lower: bool, trans: int) -> np.ndarray:
-    b = np.asarray(b, dtype=float)
+    b = as_working_dtype(b)
     if r.ndim > 2:
         return _solve_batched(r, b, trans)
     n = r.shape[0]
@@ -135,16 +155,17 @@ def tri_inverse(r: np.ndarray, lower: bool = False) -> np.ndarray:
     """Invert a triangular matrix (or stack) via solves against ``I``."""
     n = r.shape[-1]
     if n == 0:
-        return np.zeros(r.shape)
+        return np.zeros(r.shape, dtype=r.dtype)
     if r.ndim > 2:
         add_cost(
             batch_count(r.shape[:-2]) * trsm_flops(n, n),
             batch_count(r.shape[:-2]) * trsm_bytes(n, n),
         )
-        return np.linalg.solve(r, np.broadcast_to(np.eye(n), r.shape))
+        eye = np.eye(n, dtype=r.dtype)
+        return np.linalg.solve(r, np.broadcast_to(eye, r.shape))
     add_cost(trsm_flops(n, n), trsm_bytes(n, n))
     return _solve_triangular(
-        r, np.eye(n), lower=lower, trans=0, check_finite=False
+        r, np.eye(n, dtype=r.dtype), lower=lower, trans=0, check_finite=False
     )
 
 
@@ -155,8 +176,8 @@ def instrumented_solve(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     the RTS/Associative baselines where the paper's implementations
     call LAPACK ``gesv``.
     """
-    a = np.asarray(a, dtype=float)
-    b = np.asarray(b, dtype=float)
+    a = as_working_dtype(a)
+    b = as_working_dtype(b)
     n = a.shape[-1]
     # NumPy >= 2.0 only treats 1-D ``b`` as a vector; spell out the
     # stacked-vector case (``b`` with one axis fewer than ``a``) so the
@@ -180,8 +201,8 @@ def instrumented_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     broadcast batch count; the product itself is plain ``np.matmul``
     broadcasting.
     """
-    a = np.asarray(a, dtype=float)
-    b = np.asarray(b, dtype=float)
+    a = as_working_dtype(a)
+    b = as_working_dtype(b)
     if a.ndim <= 2 and b.ndim <= 2:
         m = a.shape[0]
         k = a.shape[1] if a.ndim == 2 else a.shape[0]
@@ -204,8 +225,8 @@ def instrumented_matvec(a: np.ndarray, x: np.ndarray) -> np.ndarray:
     ``(..., m)``.  This is the batch-safe spelling of a GEMV — plain
     ``@`` would misread a ``(B, n)`` stack of vectors as one matrix.
     """
-    a = np.asarray(a, dtype=float)
-    x = np.asarray(x, dtype=float)
+    a = as_working_dtype(a)
+    x = as_working_dtype(x)
     m, n = a.shape[-2], a.shape[-1]
     if a.ndim == 2 and x.ndim == 1:
         add_cost(matmul_flops(m, n, 1), matmul_bytes(m, n, 1))

@@ -97,6 +97,12 @@ class StreamServer:
         engine dispatches its heavy phases through (e.g.
         :func:`~repro.parallel.backend.worker_pool`).  The caller owns
         the backend's lifetime.
+    dtype:
+        Optional precision request forwarded to every flush solve —
+        the :attr:`~repro.api.EstimatorConfig.dtype` semantics
+        (``numpy.float32`` / ``"mixed"`` select the batched
+        mixed-precision fast path).  ``None`` (default) leaves the
+        float64 pipeline untouched.
 
     Notes
     -----
@@ -113,6 +119,7 @@ class StreamServer:
         compute_covariance: bool = True,
         smoother=None,
         backend: Backend | None = None,
+        dtype=None,
     ):
         if lag < 1:
             raise ValueError(f"lag must be >= 1, got {lag}")
@@ -125,7 +132,29 @@ class StreamServer:
             else BatchSmoother(compute_covariance=compute_covariance)
         )
         self._backend = backend
+        self._dtype = dtype
         self._streams: dict[object, _StreamState] = {}
+        # Fail at construction, not on the first flush: the server
+        # forwards compute_covariance into every window solve, so a
+        # smoother that cannot honor it must be rejected up front.
+        caps = getattr(self._smoother, "capabilities", None)
+        if caps is not None:
+            if not compute_covariance and not caps.supports_nc:
+                raise ValueError(
+                    f"smoother {getattr(self._smoother, 'name', self._smoother)!r} "
+                    "cannot skip the covariance computation (capability "
+                    "supports_nc=False), but the server was constructed "
+                    "with compute_covariance=False — use a QR-family "
+                    "batch smoother for means-only serving"
+                )
+            if compute_covariance and getattr(caps, "means_only", False):
+                raise ValueError(
+                    f"smoother {getattr(self._smoother, 'name', self._smoother)!r} "
+                    "computes means only (capability means_only=True), "
+                    "but the server was constructed with "
+                    "compute_covariance=True — pass "
+                    "compute_covariance=False"
+                )
 
     # ------------------------------------------------------------------
     # stream lifecycle
@@ -287,7 +316,11 @@ class StreamServer:
                 results = call_smoother_many(
                     self._smoother,
                     problems,
-                    config=EstimatorConfig(backend=self._backend),
+                    config=EstimatorConfig(
+                        backend=self._backend,
+                        compute_covariance=self.compute_covariance,
+                        dtype=self._dtype,
+                    ),
                 )
             except np.linalg.LinAlgError:
                 results = None

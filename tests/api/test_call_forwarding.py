@@ -1,0 +1,191 @@
+"""Legacy-smoother config forwarding via call_smoother(_many).
+
+Regression coverage for the silently-dropped-config bug: the dispatch
+helpers used to forward only ``backend`` to duck-typed legacy
+smoothers, discarding ``compute_covariance``/``dtype``/``pad`` set on
+the :class:`~repro.api.EstimatorConfig`.  The contract now: fields the
+legacy signature accepts are forwarded; ``dtype`` is honored by
+casting the returned arrays; set fields that *deviate* from the legacy
+defaults and cannot be forwarded raise instead of being ignored.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.api import EstimatorConfig, call_smoother, call_smoother_many
+from repro.kalman.result import SmootherResult
+from repro.model.generators import random_problem
+
+
+def _result():
+    return SmootherResult(
+        means=[np.zeros(3), np.ones(3)],
+        covariances=[np.eye(3), np.eye(3)],
+        residual_sq=0.0,
+        algorithm="legacy",
+    )
+
+
+class MinimalLegacy:
+    """The pre-repro.api shape: positional backend, nothing else."""
+
+    def __init__(self):
+        self.calls = []
+
+    def smooth(self, problem, backend=None):
+        self.calls.append({"backend": backend})
+        return _result()
+
+    def smooth_many(self, problems, backend=None):
+        self.calls.append({"backend": backend})
+        return [_result() for _ in problems]
+
+
+class FlaggedLegacy:
+    """A legacy engine that does accept compute_covariance/pad."""
+
+    def __init__(self):
+        self.calls = []
+
+    def smooth(self, problem, backend=None, compute_covariance=True):
+        self.calls.append({"compute_covariance": compute_covariance})
+        return _result()
+
+    def smooth_many(
+        self, problems, backend=None, compute_covariance=True, pad=True
+    ):
+        self.calls.append(
+            {"compute_covariance": compute_covariance, "pad": pad}
+        )
+        return [_result() for _ in problems]
+
+
+@pytest.fixture
+def problem():
+    return random_problem(k=4, seed=0, dims=3)
+
+
+class TestForwardable:
+    def test_accepted_flags_are_forwarded(self, problem):
+        engine = FlaggedLegacy()
+        call_smoother(
+            engine,
+            problem,
+            config=EstimatorConfig(compute_covariance=False),
+        )
+        assert engine.calls[-1]["compute_covariance"] is False
+        call_smoother_many(
+            engine,
+            [problem],
+            config=EstimatorConfig(compute_covariance=False, pad=False),
+        )
+        assert engine.calls[-1] == {
+            "compute_covariance": False,
+            "pad": False,
+        }
+
+    def test_default_matching_values_pass_silently(self, problem):
+        """compute_covariance=True / pad=True match what the legacy
+        generation always did, so nothing needs forwarding."""
+        engine = MinimalLegacy()
+        call_smoother(
+            engine, problem, config=EstimatorConfig(compute_covariance=True)
+        )
+        call_smoother_many(
+            engine,
+            [problem],
+            config=EstimatorConfig(compute_covariance=True, pad=True),
+        )
+        assert len(engine.calls) == 2
+
+
+class TestRefused:
+    def test_unforwardable_nc_request_raises(self, problem):
+        engine = MinimalLegacy()
+        with pytest.raises(ValueError, match="compute_covariance=False"):
+            call_smoother(
+                engine,
+                problem,
+                config=EstimatorConfig(compute_covariance=False),
+            )
+        with pytest.raises(ValueError, match="compute_covariance=False"):
+            call_smoother_many(
+                engine,
+                [problem],
+                config=EstimatorConfig(compute_covariance=False),
+            )
+
+    def test_unforwardable_pad_off_raises_for_workloads(self, problem):
+        engine = MinimalLegacy()
+        with pytest.raises(ValueError, match="pad=False"):
+            call_smoother_many(
+                engine, [problem], config=EstimatorConfig(pad=False)
+            )
+
+    def test_pad_is_not_a_single_problem_option(self, problem):
+        """pad only steers smooth_many bucketing; a single smooth call
+        must not refuse it."""
+        engine = MinimalLegacy()
+        call_smoother(engine, problem, config=EstimatorConfig(pad=False))
+        assert len(engine.calls) == 1
+
+
+class TestDtypeHonored:
+    def test_dtype_casts_legacy_results(self, problem):
+        """The regression: config.dtype used to be silently dropped
+        for legacy engines."""
+        engine = MinimalLegacy()
+        result = call_smoother(
+            engine, problem, config=EstimatorConfig(dtype=np.float32)
+        )
+        assert all(m.dtype == np.float32 for m in result.means)
+        results = call_smoother_many(
+            engine, [problem], config=EstimatorConfig(dtype=np.float32)
+        )
+        assert all(
+            m.dtype == np.float32 for r in results for m in r.means
+        )
+
+    def test_mixed_spelling_yields_float64(self, problem):
+        results = call_smoother_many(
+            engine := MinimalLegacy(),
+            [problem],
+            config=EstimatorConfig(dtype="mixed"),
+        )
+        assert engine.calls
+        assert all(
+            m.dtype == np.float64 for r in results for m in r.means
+        )
+
+    def test_uncastable_result_raises(self, problem):
+        class Opaque:
+            def smooth(self, problem, backend=None):
+                return object()
+
+        with pytest.raises(ValueError, match="cannot honor"):
+            call_smoother(
+                Opaque(), problem, config=EstimatorConfig(dtype=np.float32)
+            )
+
+
+class TestVarKeywordEngines:
+    def test_kwargs_engine_gets_everything(self, problem):
+        class Kwargs:
+            def __init__(self):
+                self.seen = {}
+
+            def smooth_many(self, problems, backend=None, **kwargs):
+                self.seen = kwargs
+                return [_result() for _ in problems]
+
+        engine = Kwargs()
+        call_smoother_many(
+            engine,
+            [problem],
+            config=EstimatorConfig(compute_covariance=False, pad=False),
+        )
+        assert engine.seen == {
+            "compute_covariance": False,
+            "pad": False,
+        }

@@ -1,0 +1,117 @@
+"""StreamServer configuration forwarding: the silent-covariance bug.
+
+Regression coverage for the serving-config bug: a server constructed
+with ``compute_covariance=False`` but a *named* smoother (e.g.
+``smoother="batch-odd-even"``) used to pass only
+``EstimatorConfig(backend=...)`` into the flush, so the batch engine
+fell back to its own default and computed (and attached) the
+covariances the caller asked to skip.  The flush config now carries
+``compute_covariance`` (and ``dtype``), and capability conflicts fail
+at construction instead of surfacing mid-serve.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.model.generators import random_problem
+from repro.stream import StreamServer, StreamStep
+
+
+def as_arrivals(problem):
+    return [
+        StreamStep(
+            seq=seq,
+            evolution=step.evolution,
+            observation=step.observation,
+        )
+        for seq, step in enumerate(problem.steps)
+    ]
+
+
+def serve(server, problems):
+    """Open, submit everything, flush once, close; emissions per sid."""
+    for sid, p in enumerate(problems):
+        server.open_stream(
+            sid,
+            p.state_dims[0],
+            prior=(p.prior.mean, p.prior.cov_matrix()),
+        )
+    for sid, p in enumerate(problems):
+        for step in as_arrivals(p):
+            server.submit(sid, step)
+    collected = {sid: [] for sid in range(len(problems))}
+    for sid, ems in server.flush().items():
+        collected[sid].extend(ems)
+    for sid in range(len(problems)):
+        collected[sid].extend(server.close_stream(sid))
+    return collected
+
+
+class TestCovarianceFlagForwarding:
+    def test_named_smoother_honors_means_only_serving(self):
+        """The regression: a registry-named smoother must not attach
+        covariances when the server was built means-only.  (On the old
+        code the flush config dropped the flag and every flushed
+        emission carried a covariance.)"""
+        problems = [
+            random_problem(k=7, seed=i, dims=3) for i in range(3)
+        ]
+        server = StreamServer(
+            3, compute_covariance=False, smoother="batch-odd-even"
+        )
+        collected = serve(server, problems)
+        assert all(collected.values())
+        for ems in collected.values():
+            for emission in ems:
+                assert emission.cov is None
+
+    def test_default_smoother_still_means_only(self):
+        problems = [random_problem(k=6, seed=9, dims=3)]
+        server = StreamServer(2, compute_covariance=False)
+        collected = serve(server, problems)
+        for ems in collected.values():
+            for emission in ems:
+                assert emission.cov is None
+
+    def test_covariance_serving_unchanged(self):
+        problems = [random_problem(k=6, seed=3, dims=3)]
+        server = StreamServer(2, smoother="batch-odd-even")
+        collected = serve(server, problems)
+        for ems in collected.values():
+            for emission in ems:
+                assert emission.cov is not None
+
+
+class TestConstructionConflicts:
+    def test_means_only_request_with_cov_carrying_smoother(self):
+        """batch-associative cannot skip covariances: the conflict
+        must fail at construction, not on the first flush."""
+        with pytest.raises(ValueError, match="supports_nc"):
+            StreamServer(
+                2,
+                compute_covariance=False,
+                smoother="batch-associative",
+            )
+
+    def test_covariance_request_with_means_only_smoother(self):
+        with pytest.raises(ValueError, match="means only"):
+            StreamServer(2, smoother="normal-equations")
+
+
+class TestDtypeForwarding:
+    def test_mixed_precision_serving_matches_default(self):
+        """dtype='mixed' flows into the flush solves and agrees with
+        the float64 pipeline at refinement accuracy."""
+        problems = [
+            random_problem(k=7, seed=20 + i, dims=3) for i in range(2)
+        ]
+        ref = serve(StreamServer(3), problems)
+        got = serve(StreamServer(3, dtype="mixed"), problems)
+        for sid in ref:
+            assert len(ref[sid]) == len(got[sid])
+            for a, b in zip(ref[sid], got[sid]):
+                assert b.mean.dtype == np.float64
+                np.testing.assert_allclose(
+                    b.mean, a.mean, atol=1e-8, rtol=1e-8
+                )

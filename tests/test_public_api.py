@@ -34,6 +34,8 @@ EXPECTED_ALL = [
     "NormalEquationsSmoother",
     "OddEvenSmoother",
     "PaigeSaundersSmoother",
+    "PlanCache",
+    "default_plan_cache",
     "RTSSmoother",
     "UltimateKalman",
     "UltimateSmoother",
