@@ -31,6 +31,7 @@ import warnings as _warnings
 from .api import (
     Capabilities,
     EstimatorConfig,
+    ServingConfig,
     Smoother,
     SmootherBase,
     SmootherRegistry,
@@ -55,7 +56,7 @@ from .core import (
     selinv_oddeven,
     solve_window,
 )
-from .errors import UnobservableStateError
+from .errors import ReorderBufferFullError, UnobservableStateError
 from .kalman import (
     AssociativeSmoother,
     KalmanFilter,
@@ -97,7 +98,14 @@ from .parallel import (
     work_stealing_schedule,
     worker_pool,
 )
-from .stream import Emission, FixedLagSmoother, StreamServer, StreamStep
+from .stream import (
+    AsyncStreamServer,
+    Emission,
+    FixedLagSmoother,
+    ShardedStreamServer,
+    StreamServer,
+    StreamStep,
+)
 
 __version__ = "1.1.0"
 
@@ -131,6 +139,7 @@ def __getattr__(name: str):
 __all__ = [
     "Capabilities",
     "EstimatorConfig",
+    "ServingConfig",
     "Smoother",
     "SmootherBase",
     "SmootherRegistry",
@@ -155,8 +164,11 @@ __all__ = [
     "selinv_oddeven",
     "solve_window",
     "UnobservableStateError",
+    "ReorderBufferFullError",
+    "AsyncStreamServer",
     "Emission",
     "FixedLagSmoother",
+    "ShardedStreamServer",
     "StreamServer",
     "StreamStep",
     "AssociativeSmoother",

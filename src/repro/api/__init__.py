@@ -27,7 +27,7 @@ from .base import (
     call_smoother_many,
     warn_deprecated,
 )
-from .config import EstimatorConfig
+from .config import EstimatorConfig, ServingConfig
 from .registry import (
     SmootherRegistry,
     SmootherSpec,
@@ -42,6 +42,7 @@ from .registry import (
 __all__ = [
     "Capabilities",
     "EstimatorConfig",
+    "ServingConfig",
     "Smoother",
     "SmootherBase",
     "SmootherRegistry",

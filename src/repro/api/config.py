@@ -24,7 +24,7 @@ import numpy as np
 
 from ..parallel.backend import Backend, SerialBackend
 
-__all__ = ["EstimatorConfig"]
+__all__ = ["EstimatorConfig", "ServingConfig"]
 
 #: dtype spellings that request the mixed-precision fast path: solve in
 #: float32, one step of float64 iterative refinement, float64 outputs.
@@ -162,3 +162,68 @@ class EstimatorConfig:
             pad=True if merged.pad is None else merged.pad,
             plan_cache=plan_cache,
         )
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Tuning knobs for the sharded serving front-end.
+
+    Consumed by :class:`~repro.stream.ShardedStreamServer` (and its
+    asyncio wrapper :class:`~repro.stream.AsyncStreamServer`); kept
+    here next to :class:`EstimatorConfig` so every execution knob in
+    the repository lives in one module.
+
+    Parameters
+    ----------
+    shards:
+        Number of independent :class:`~repro.stream.StreamServer`
+        shards streams are hashed onto.  Each shard flushes as one
+        micro-batched ``smooth_many`` call; shards flush concurrently
+        on a :func:`~repro.parallel.backend.worker_pool` backend, so
+        size this to the worker count.
+    max_batch:
+        Flush a shard as soon as it holds this many due-but-unemitted
+        states, without waiting for the deadline.  ``None`` disables
+        the size trigger (deadline-only flushing).
+    max_delay:
+        Seconds a due state may wait before its shard is force-flushed
+        (the latency bound of the adaptive micro-batcher).  The
+        deadline starts when a shard goes from empty to non-empty.
+        ``0.0`` flushes on every poll.
+    max_buffered / overflow:
+        Per-stream reorder-buffer backpressure, forwarded verbatim to
+        every shard's :class:`~repro.stream.StreamServer`.  Unlike the
+        bare server, serving defaults to a *bounded* buffer — an
+        unbounded default is how slow producers take a fleet down.
+    """
+
+    shards: int = 4
+    max_batch: int | None = 64
+    max_delay: float = 0.005
+    max_buffered: int | None = 64
+    overflow: str = "reject"
+
+    def __post_init__(self):
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.max_batch is not None and self.max_batch < 1:
+            raise ValueError(
+                f"max_batch must be >= 1 or None, got {self.max_batch}"
+            )
+        if self.max_delay < 0.0:
+            raise ValueError(
+                f"max_delay must be >= 0, got {self.max_delay}"
+            )
+        if self.max_buffered is not None and self.max_buffered < 1:
+            raise ValueError(
+                f"max_buffered must be >= 1 or None, got {self.max_buffered}"
+            )
+        if self.overflow not in ("reject", "evict"):
+            raise ValueError(
+                f"unknown overflow policy {self.overflow!r}; expected "
+                "'reject' or 'evict'"
+            )
+
+    def replace(self, **overrides: Any) -> "ServingConfig":
+        """A copy with the given fields replaced (unknown names raise)."""
+        return dataclasses.replace(self, **overrides)

@@ -26,18 +26,24 @@ Replaying a plan is exact: the layout path performs the same numeric
 operations on the same values as the cold path, so planned and
 unplanned results agree bit for bit (a property the test suite pins).
 
-A plan's workspaces are reused across calls and are therefore not
-safe for two *concurrent* ``smooth_many`` calls hitting the same
-cache entry; give concurrent callers separate ``PlanCache`` instances
-(the internal phase parallelism of one call is unaffected).
+A plan's workspaces are reused across calls but never shared between
+concurrent callers: ``smooth_many`` *leases* a workspace set through
+:meth:`SmoothPlan.lease_workspaces` — a small free list per plan,
+popped on entry and returned on exit, with a fresh set cloned from
+the compiled template on contention — so N threads replaying one
+cached plan (the serving fleet's hot path) can never alias each
+other's stacked buffers.  Threaded and serial replay of the same
+workload are bit-identical (pinned by the concurrency property
+suite).
 """
 
 from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Callable
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
 
 from ..model.problem import StateSpaceProblem
 from .stacking import (
@@ -100,23 +106,94 @@ class BucketPlan:
     signature: tuple
 
 
+#: Workspace sets a plan keeps pooled for reuse.  Sets returned while
+#: the pool is full are dropped (garbage collected), bounding a plan's
+#: footprint at ``max_pooled`` concurrent callers' worth of buffers.
+DEFAULT_MAX_POOLED = 8
+
+
 @dataclass
 class SmoothPlan:
-    """Everything ``smooth_many`` decides before touching numbers."""
+    """Everything ``smooth_many`` decides before touching numbers.
+
+    The compiled per-bucket layouts double as reusable numeric
+    workspaces, so replaying a plan mutates state.  Callers never touch
+    ``buckets[g].layout`` directly for numeric work — they hold a
+    *lease* (:meth:`lease_workspaces`) for the duration of one
+    ``smooth_many`` call, which guarantees exclusive ownership of one
+    workspace set even when many threads replay the same cached plan.
+    """
 
     key: tuple
     pad: bool
     exact_obs: bool
     n_problems: int
     buckets: list[BucketPlan]
+    #: pool-size cap for returned workspace sets
+    max_pooled: int = DEFAULT_MAX_POOLED
+    #: total leases granted (diagnostics)
+    leases: int = field(default=0, compare=False)
+    #: leases that had to clone a fresh set (contention; diagnostics)
+    clones: int = field(default=0, compare=False)
+    _pool: list = field(
+        default_factory=list, repr=False, compare=False
+    )
+    _pool_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def nbytes(self) -> int:
-        """Total preallocated workspace footprint (diagnostics)."""
+        """Total preallocated workspace footprint (diagnostics).
+
+        Counts the template workspaces only; pooled clones created
+        under contention add up to ``max_pooled`` times this.
+        """
         return sum(
             bp.layout.nbytes()
             for bp in self.buckets
             if bp.layout is not None
         )
+
+    @contextmanager
+    def lease_workspaces(self) -> Iterator[list]:
+        """Exclusive workspace set for one ``smooth_many`` replay.
+
+        Yields a list parallel to :attr:`buckets` whose entry ``g`` is
+        the :class:`~repro.batch.stacking.BucketLayout` workspace set
+        to use for bucket ``g`` (``None`` for associative buckets,
+        which carry no workspaces).  The first lease hands out the
+        compiled template itself; concurrent leases clone fresh sets
+        (:meth:`~repro.batch.stacking.BucketLayout.clone` is safe
+        against in-flight writers).  On exit the set returns to the
+        free list, up to :attr:`max_pooled` sets; beyond that it is
+        dropped.
+        """
+        with self._pool_lock:
+            self.leases += 1
+            workspaces = self._pool.pop() if self._pool else None
+            if workspaces is None:
+                self.clones += 1
+        if workspaces is None:
+            workspaces = [
+                bp.layout.clone() if bp.layout is not None else None
+                for bp in self.buckets
+            ]
+        try:
+            yield workspaces
+        finally:
+            with self._pool_lock:
+                if len(self._pool) < self.max_pooled:
+                    self._pool.append(workspaces)
+
+    def workspace_stats(self) -> dict:
+        """Lease counters, in the shape the smoother diagnostics record."""
+        with self._pool_lock:
+            return {
+                "leases": self.leases,
+                "clones": self.clones,
+                "pooled": len(self._pool),
+                "max_pooled": self.max_pooled,
+            }
 
 
 def build_plan(
@@ -146,13 +223,18 @@ def build_plan(
                 signature=bucket.signature,
             )
         )
-    return SmoothPlan(
+    plan = SmoothPlan(
         key=key,
         pad=bool(pad),
         exact_obs=bool(exact_obs),
         n_problems=len(problems),
         buckets=plans,
     )
+    # Seed the lease pool with the compiled template set, so the
+    # uncontended (single-caller) path replays with zero extra
+    # allocation — exactly the pre-lease behavior.
+    plan._pool.append([bp.layout for bp in plans])
+    return plan
 
 
 class PlanCache:

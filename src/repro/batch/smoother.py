@@ -27,7 +27,12 @@ Two serving optimizations layer on top of the stacked kernels:
   :attr:`refine_steps` sweeps of corrected-seminormal-equations
   iterative refinement against the float32 factor (Björck's CSNE: the
   float64 residual is pushed through ``R^T y = A^T r`` and
-  ``R d = y``, both reusing the existing odd-even factor).
+  ``R d = y``, both reusing the existing odd-even factor).  Requested
+  covariances are *refined* too: SelInv runs off a float64
+  re-factorization of the (already float64) whitened stack, so mixed-
+  mode covariances match the float64 pipeline exactly rather than
+  carrying float32 accuracy — at the cost of a second factorization,
+  which makes the float32 fast path primarily a means-only/NC win.
 
 Unlike the per-sequence smoothers — whose default
 :meth:`~repro.api.SmootherBase.smooth_many` simply loops — this class
@@ -38,6 +43,7 @@ overrides ``smooth_many`` with the stacked kernels (capability flag
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 
 import numpy as np
 
@@ -285,6 +291,7 @@ class BatchSmoother(SmootherBase):
             "factorize": 0.0,
             "solve": 0.0,
             "refine": 0.0,
+            "cov_refine": 0.0,
             "selinv": 0.0,
             "scan": 0.0,
         }
@@ -305,6 +312,7 @@ class BatchSmoother(SmootherBase):
             cache = None
         results: list[SmootherResult | None] = [None] * len(problems)
         t0 = time.perf_counter()
+        plan = None
         if cache is not None:
             key = workload_key(problems, pad=config.pad, exact_obs=exact)
             plan, hit = cache.get_or_build(
@@ -319,40 +327,52 @@ class BatchSmoother(SmootherBase):
                 "hit": hit,
                 **cache.stats(),
             }
-            groups = [
-                (bp.indices, bp.n_states_orig, bp.target, bp.layout)
-                for bp in plan.buckets
-            ]
         else:
             buckets = bucket_problems(
                 problems, pad=config.pad, exact_obs=exact
             )
             phases["plan"] += time.perf_counter() - t0
-            groups = [
-                (b.indices, b.n_states_orig, b.n_states, None)
-                for b in buckets
-            ]
             # The un-planned path smooths the physically padded
             # problems bucket_problems built.
             padded_by_bucket = [b.problems for b in buckets]
-        for g, (indices, n_orig, target, layout) in enumerate(groups):
-            if cache is not None:
-                members = [problems[j] for j in indices]
-                if exact or layout is None:
-                    members = [pad_problem(p, target) for p in members]
+        # A planned replay mutates the plan's preallocated workspaces,
+        # so the whole bucket loop runs under a workspace lease:
+        # concurrent callers replaying the same cached plan each own a
+        # private workspace set and cannot alias each other's buffers.
+        lease = (
+            plan.lease_workspaces() if plan is not None else nullcontext()
+        )
+        with lease as workspaces:
+            if plan is not None:
+                groups = [
+                    (bp.indices, bp.n_states_orig, bp.target, ws)
+                    for bp, ws in zip(plan.buckets, workspaces)
+                ]
             else:
-                members = padded_by_bucket[g]
-            if exact:
-                out = self._associative_stack(
-                    members, n_orig, target, config, phases
-                )
-            else:
-                out = self._oddeven_stack(
-                    members, indices, n_orig, target, layout, config,
-                    phases,
-                )
-            for idx, result in zip(indices, out):
-                results[idx] = result
+                groups = [
+                    (b.indices, b.n_states_orig, b.n_states, None)
+                    for b in buckets
+                ]
+            for g, (indices, n_orig, target, layout) in enumerate(groups):
+                if plan is not None:
+                    members = [problems[j] for j in indices]
+                    if exact or layout is None:
+                        members = [pad_problem(p, target) for p in members]
+                else:
+                    members = padded_by_bucket[g]
+                if exact:
+                    out = self._associative_stack(
+                        members, n_orig, target, config, phases
+                    )
+                else:
+                    out = self._oddeven_stack(
+                        members, indices, n_orig, target, layout, config,
+                        phases,
+                    )
+                for idx, result in zip(indices, out):
+                    results[idx] = result
+        if plan is not None:
+            diag["plan_cache"]["workspaces"] = plan.workspace_stats()
         diag["total_s"] = time.perf_counter() - t_start
         return results  # type: ignore[return-value]
 
@@ -394,8 +414,24 @@ class BatchSmoother(SmootherBase):
                 phases["refine"] += time.perf_counter() - t0
             covs = None
             if want_cov:
+                cov_factor = factor
+                if mixed:
+                    # Covariance refinement: SelInv off the float32
+                    # factor would carry float32 accuracy into the
+                    # reported covariances (CSNE refinement fixes the
+                    # means but says nothing about (R^T R)^{-1}).
+                    # Re-factor the float64 whitened stack for the
+                    # covariance path — identical arithmetic to the
+                    # float64 pipeline, so the covariances agree with
+                    # it exactly.  Mixed precision therefore pays one
+                    # extra factorization when covariances are
+                    # requested; the fast path's win is means-only/NC
+                    # serving.
+                    t0 = time.perf_counter()
+                    cov_factor = oddeven_factorize(white, backend)
+                    phases["cov_refine"] += time.perf_counter() - t0
                 t0 = time.perf_counter()
-                covs = list(selinv_oddeven(factor, backend).diagonal)
+                covs = list(selinv_oddeven(cov_factor, backend).diagonal)
                 phases["selinv"] += time.perf_counter() - t0
         except np.linalg.LinAlgError as exc:
             slices = getattr(exc, "batch_slices", None)
@@ -436,6 +472,9 @@ class BatchSmoother(SmootherBase):
                         "padded_states": target - n_states,
                         "solve_dtype": (
                             "float32" if mixed else "float64"
+                        ),
+                        "cov_dtype": (
+                            "float64" if covs is not None else None
                         ),
                         "refine_steps": (
                             self.refine_steps if mixed else 0

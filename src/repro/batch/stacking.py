@@ -256,8 +256,11 @@ class BucketLayout:
     a layout is only valid for workloads with the exact structure it
     was built for (the plan cache keys on it): every non-constant
     region is rewritten in full each call, and the zero-padding
-    regions are never written after construction.  One layout must not
-    be used by two concurrent ``smooth_many`` calls.
+    regions are never written after construction.  One layout instance
+    must not be used by two concurrent ``smooth_many`` calls —
+    concurrent callers each lease their own instance through
+    :meth:`repro.batch.plan.SmoothPlan.lease_workspaces`, which
+    :meth:`clone` supplies on contention.
     """
 
     batch: int
@@ -287,6 +290,37 @@ class BucketLayout:
                 *self.evo_factors,
             )
             if buf is not None
+        )
+
+    def clone(self) -> "BucketLayout":
+        """An independent workspace set with the same compiled layout.
+
+        Copies the four mutable workspace groups and shares the
+        immutable pieces (step layouts, whiteners, identity
+        templates).  Safe to call even while ``self`` is in use by
+        another ``smooth_many``: a layout's workspace regions are
+        either constant after construction (padding prefill, zero
+        rows) or rewritten in full by every call before being read, so
+        a torn copy of an in-flight region is overwritten before the
+        clone's first use reads it.
+        """
+
+        def _copy(bufs):
+            return [b.copy() if b is not None else None for b in bufs]
+
+        return BucketLayout(
+            batch=self.batch,
+            target=self.target,
+            n_states_orig=self.n_states_orig,
+            steps=self.steps,
+            obs_buffers=_copy(self.obs_buffers),
+            evo_buffers=_copy(self.evo_buffers),
+            pad_obs_whiteners=self.pad_obs_whiteners,
+            pad_evo_whiteners=self.pad_evo_whiteners,
+            obs_factors=_copy(self.obs_factors),
+            evo_factors=_copy(self.evo_factors),
+            obs_eye=self.obs_eye,
+            evo_eye=self.evo_eye,
         )
 
 

@@ -1,0 +1,209 @@
+"""Latency benchmark for the sharded serving front-end.
+
+Drives many concurrent streams (default 1024) through a
+:class:`~repro.stream.ShardedStreamServer` under its production
+configuration — consistent-hash sharding, adaptive micro-batching
+(``max_batch`` size trigger plus ``max_delay`` deadline), shard
+flushes fanned out on a :func:`~repro.parallel.backend.worker_pool` —
+and reports the distribution of per-emission queueing latency (the
+time from a state becoming due to the flush that emitted it, the
+quantity ``max_delay`` bounds) alongside aggregate throughput.
+
+The load generator submits rounds of arrivals across the whole fleet
+and polls between rounds, the arrival pattern a serving tier actually
+sees; stream *contents* are recycled from a small pool of generated
+problems because latency and throughput depend on shapes and counts,
+not on the numbers being smoothed.
+
+Run as a module for the table + JSON artifact::
+
+    PYTHONPATH=src python -m repro.bench.stream_latency           # 1024 streams
+    PYTHONPATH=src python -m repro.bench.stream_latency --quick   # CI smoke
+
+Results are persisted to ``results/stream_latency.json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..api import ServingConfig
+from ..model.problem import StateSpaceProblem
+from ..parallel.backend import worker_pool
+from ..stream import ShardedStreamServer, StreamStep
+from .harness import save_results
+from .stream import _prior, _workload
+
+__all__ = ["stream_latency", "main"]
+
+#: distinct generated problems; streams cycle over this pool
+PROBLEM_POOL = 32
+
+
+def _drive(
+    server: ShardedStreamServer,
+    problems: list[StateSpaceProblem],
+    stream_ids: list,
+    poll_every: int = 128,
+) -> int:
+    """Submit every step of every stream in rounds, polling every
+    ``poll_every`` submissions (a serving tier polls continuously —
+    polling once per full fleet round would report the round time,
+    not the micro-batcher's latency).  Returns the number of
+    emissions delivered."""
+    pool = len(problems)
+    for i, sid in enumerate(stream_ids):
+        server.open_stream(sid, problems[i % pool].state_dims[0],
+                           prior=_prior(problems[i % pool]))
+    emissions = 0
+    submitted = 0
+    n_steps = max(p.n_states for p in problems)
+    for t in range(n_steps):
+        for i, sid in enumerate(stream_ids):
+            p = problems[i % pool]
+            if t >= p.n_states:
+                continue
+            step = p.steps[t]
+            server.submit(
+                sid,
+                StreamStep(
+                    seq=t,
+                    evolution=step.evolution,
+                    observation=step.observation,
+                ),
+            )
+            submitted += 1
+            if submitted % poll_every == 0:
+                for ems in server.poll().values():
+                    emissions += len(ems)
+        for ems in server.poll().values():
+            emissions += len(ems)
+    for sid in stream_ids:
+        emissions += len(server.close_stream(sid))
+    for ems in server.drain().values():
+        emissions += len(ems)
+    return emissions
+
+
+def stream_latency(
+    n_streams: int = 1024,
+    t_steps: int = 16,
+    n: int = 3,
+    lag: int = 4,
+    shards: int = 8,
+    max_batch: int = 256,
+    max_delay: float = 0.002,
+    workers: int | None = None,
+    result_name: str = "stream_latency",
+) -> dict:
+    """p50/p99 emission latency and steps/sec at ``n_streams`` streams.
+
+    Every stream's every state must be emitted exactly once (checked);
+    the persisted record carries the latency percentiles in
+    milliseconds, the aggregate steps/sec, and the configuration.
+    """
+    problems = _workload(min(n_streams, PROBLEM_POOL), t_steps, n)
+    stream_ids = [f"stream-{i}" for i in range(n_streams)]
+    config = ServingConfig(
+        shards=shards,
+        max_batch=max_batch,
+        max_delay=max_delay,
+        max_buffered=64,
+    )
+    with worker_pool(workers) as backend:
+        server = ShardedStreamServer(lag, config, backend=backend)
+        t0 = time.perf_counter()
+        emissions = _drive(server, problems, stream_ids)
+        seconds = time.perf_counter() - t0
+        latency = server.latency_stats()
+        stats = server.stats()
+    pool = len(problems)
+    steps_total = sum(
+        problems[i % pool].n_states for i in range(n_streams)
+    )
+    if emissions != steps_total:
+        raise SystemExit(
+            f"lost emissions: {emissions} delivered, "
+            f"{steps_total} submitted"
+        )
+    record = {
+        "workload": {
+            "streams": n_streams,
+            "t_steps": t_steps,
+            "n": n,
+            "lag": lag,
+        },
+        "config": {
+            "shards": shards,
+            "max_batch": max_batch,
+            "max_delay_ms": max_delay * 1e3,
+            "workers": backend.num_threads,
+        },
+        "steps_total": steps_total,
+        "emissions": emissions,
+        "seconds": seconds,
+        "steps_per_sec": steps_total / seconds,
+        "latency_ms": {
+            "count": latency["count"],
+            "p50": latency["p50"] * 1e3,
+            "p99": latency["p99"] * 1e3,
+            "max": latency["max"] * 1e3,
+        },
+        "flushes": {
+            "total": sum(s["flushes"] for s in stats["per_shard"]),
+            "batch_triggered": sum(
+                s["batch_flushes"] for s in stats["per_shard"]
+            ),
+        },
+    }
+    save_results(result_name, record)
+    return record
+
+
+def main(argv: list[str] | None = None) -> None:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Sharded serving latency benchmark"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small fleet for CI smoke runs",
+    )
+    parser.add_argument(
+        "--streams", type=int, default=None, help="stream count override"
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        record = stream_latency(
+            n_streams=args.streams or 64,
+            t_steps=8,
+            shards=4,
+            max_batch=64,
+            result_name="stream_latency_quick",
+        )
+    else:
+        record = stream_latency(n_streams=args.streams or 1024)
+    lat = record["latency_ms"]
+    print(
+        f"{record['workload']['streams']} streams on "
+        f"{record['config']['shards']} shards "
+        f"({record['config']['workers']} workers): "
+        f"{record['steps_per_sec']:.0f} steps/s over "
+        f"{record['steps_total']} steps"
+    )
+    print(
+        f"emission latency: p50 {lat['p50']:.3f} ms, "
+        f"p99 {lat['p99']:.3f} ms, max {lat['max']:.3f} ms "
+        f"({lat['count']} recorded; deadline "
+        f"{record['config']['max_delay_ms']:.1f} ms + solve time)"
+    )
+    print(
+        f"flushes: {record['flushes']['total']} total, "
+        f"{record['flushes']['batch_triggered']} size-triggered"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["UnobservableStateError"]
+__all__ = ["ReorderBufferFullError", "UnobservableStateError"]
 
 
 class UnobservableStateError(np.linalg.LinAlgError):
@@ -25,4 +25,19 @@ class UnobservableStateError(np.linalg.LinAlgError):
     this type is caught both by callers expecting a linear-algebra
     failure and by callers expecting a plain ``ValueError`` for
     invalid input.
+    """
+
+
+class ReorderBufferFullError(RuntimeError):
+    """A stream's out-of-order reorder buffer hit its bound.
+
+    Raised by :meth:`repro.stream.StreamServer.submit` under the
+    ``overflow="reject"`` policy when a stream already holds
+    ``max_buffered`` out-of-order arrivals and the new step cannot be
+    applied in order (the gap at ``next_seq`` is still open).  The
+    message names the stream, the missing step, and the bound.  This is
+    an *operational* (backpressure) condition, not invalid input — the
+    producer should fill the gap or retry after a flush — hence a
+    ``RuntimeError``, distinct from the ``ValueError`` raised for
+    malformed or duplicate arrivals.
     """

@@ -14,13 +14,32 @@ foundation:
 
 :class:`~repro.stream.server.StreamServer`
     Many concurrent streams: per-stream reorder buffers for
-    out-of-order and missing-observation arrivals, and micro-batched
+    out-of-order and missing-observation arrivals (bounded via
+    ``max_buffered``/``overflow`` backpressure), and micro-batched
     window solves through the stacked kernels of
     :class:`~repro.batch.BatchSmoother`
     (see ``repro.bench.stream`` for the throughput numbers).
+
+:class:`~repro.stream.async_server.ShardedStreamServer` /
+:class:`~repro.stream.async_server.AsyncStreamServer`
+    The serving front-end: streams consistently hashed over
+    independent server shards, adaptive micro-batching (flush on a
+    ``max_batch`` size trigger or a ``max_delay`` deadline), shard
+    flushes fanned out on a worker pool, per-emission latency
+    recording, and an asyncio wrapper
+    (see ``repro.bench.stream_latency`` for the load generator).
 """
 
+from .async_server import AsyncStreamServer, ShardedStreamServer, shard_of
 from .fixed_lag import Emission, FixedLagSmoother
 from .server import StreamServer, StreamStep
 
-__all__ = ["Emission", "FixedLagSmoother", "StreamServer", "StreamStep"]
+__all__ = [
+    "AsyncStreamServer",
+    "Emission",
+    "FixedLagSmoother",
+    "ShardedStreamServer",
+    "StreamServer",
+    "StreamStep",
+    "shard_of",
+]

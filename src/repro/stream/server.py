@@ -28,7 +28,7 @@ import numpy as np
 
 from ..api import EstimatorConfig, call_smoother_many, coerce_smoother
 from ..batch import BatchSmoother
-from ..errors import UnobservableStateError
+from ..errors import ReorderBufferFullError, UnobservableStateError
 from ..model.steps import Evolution, Observation
 from ..parallel.backend import Backend
 from .fixed_lag import Emission, FixedLagSmoother
@@ -73,6 +73,8 @@ class _StreamState:
     next_seq: int = 0
     applied: int = 0
     emitted: int = 0
+    #: out-of-order arrivals dropped by the ``overflow="evict"`` policy
+    evicted: int = 0
 
 
 class StreamServer:
@@ -103,6 +105,22 @@ class StreamServer:
         (``numpy.float32`` / ``"mixed"`` select the batched
         mixed-precision fast path).  ``None`` (default) leaves the
         float64 pipeline untouched.
+    max_buffered:
+        Bound on each stream's reorder buffer (out-of-order arrivals
+        waiting for a gap to fill).  ``None`` (the historical default)
+        leaves the buffer unbounded — a stream that never sends its
+        next in-order step then grows without limit, so serving
+        deployments should always set a bound.
+    overflow:
+        What to do when a buffering arrival would exceed
+        ``max_buffered``.  ``"reject"`` (default) raises
+        :class:`~repro.errors.ReorderBufferFullError` and drops
+        nothing — the producer fills the gap or retries later.
+        ``"evict"`` keeps the arrivals *closest* to the open gap (the
+        ones that unblock first) and drops the highest-seq step among
+        the buffered ones and the newcomer; drops are counted in
+        :meth:`stats` (``per_stream[...]["evicted"]``) and the
+        producer is expected to resend them.
 
     Notes
     -----
@@ -120,10 +138,23 @@ class StreamServer:
         smoother=None,
         backend: Backend | None = None,
         dtype=None,
+        max_buffered: int | None = None,
+        overflow: str = "reject",
     ):
         if lag < 1:
             raise ValueError(f"lag must be >= 1, got {lag}")
+        if max_buffered is not None and max_buffered < 1:
+            raise ValueError(
+                f"max_buffered must be >= 1 or None, got {max_buffered}"
+            )
+        if overflow not in ("reject", "evict"):
+            raise ValueError(
+                f"unknown overflow policy {overflow!r}; expected "
+                "'reject' or 'evict'"
+            )
         self.lag = int(lag)
+        self.max_buffered = max_buffered
+        self.overflow = overflow
         self.compute_covariance = compute_covariance
         smoother = coerce_smoother(smoother)
         self._smoother = (
@@ -216,7 +247,8 @@ class StreamServer:
 
         Steps at or before the stream's applied frontier are duplicates
         and rejected; steps beyond the next expected one are buffered
-        until the gap fills.
+        until the gap fills, subject to the ``max_buffered`` /
+        ``overflow`` backpressure policy.
         """
         state = self._state(stream_id)
         if step.seq < state.next_seq or step.seq in state.buffered:
@@ -229,6 +261,27 @@ class StreamServer:
                     else "buffered"
                 )
             )
+        if (
+            self.max_buffered is not None
+            and step.seq != state.next_seq
+            and len(state.buffered) >= self.max_buffered
+        ):
+            if self.overflow == "reject":
+                raise ReorderBufferFullError(
+                    f"stream {stream_id!r} already buffers "
+                    f"{len(state.buffered)} out-of-order steps "
+                    f"(max_buffered={self.max_buffered}) while waiting "
+                    f"for step {state.next_seq}; fill the gap or retry "
+                    f"step {step.seq} after it closes"
+                )
+            # overflow == "evict": keep the steps closest to the open
+            # gap; the furthest-out step (which may be the newcomer)
+            # is dropped and counted, to be resent by the producer.
+            victim = max(max(state.buffered), step.seq)
+            state.evicted += 1
+            if victim == step.seq:
+                return
+            del state.buffered[victim]
         state.buffered[step.seq] = step
         self._drain(stream_id, state)
 
@@ -358,6 +411,19 @@ class StreamServer:
         """Filtered (online) estimate of a stream's frontier state."""
         return self._state(stream_id).smoother.estimate()
 
+    def pending_emissions(self, stream_id) -> int:
+        """How many of a stream's states are due (behind the lag) but
+        not yet emitted — what the next :meth:`flush` would deliver."""
+        return self._state(stream_id).smoother.pending_emissions()
+
+    def total_pending(self) -> int:
+        """Due-but-unemitted states across every open stream (the
+        micro-batch size the next :meth:`flush` would solve for)."""
+        return sum(
+            state.smoother.pending_emissions()
+            for state in self._streams.values()
+        )
+
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
@@ -375,6 +441,7 @@ class StreamServer:
                     "applied": state.applied,
                     "buffered": len(state.buffered),
                     "emitted": state.emitted,
+                    "evicted": state.evicted,
                     "window": state.smoother.window_size,
                 }
                 for sid, state in self._streams.items()

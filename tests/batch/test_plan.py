@@ -264,6 +264,45 @@ class TestMixedPrecision:
                 a.residual_sq, b.residual_sq, rtol=1e-6, atol=1e-8
             )
 
+    @pytest.mark.parametrize("cond", [1e4, 1e6])
+    def test_mixed_covariances_match_float64_pipeline(self, cond):
+        """The covariance-gap fix: in ``dtype="mixed"``, SelInv runs
+        off a float64 re-factorization, so covariances agree with the
+        float64 pipeline at 1e-10 even at cond 1e6 (the raw float32
+        factor is orders of magnitude worse there)."""
+        probs = [
+            ill_conditioned_problem(n=4, k=15, cond=cond, seed=s)
+            for s in range(3)
+        ]
+        sm = repro.BatchSmoother()
+        r64 = sm.smooth_many(
+            probs, config=repro.EstimatorConfig(plan_cache=False)
+        )
+        rmx = sm.smooth_many(
+            probs,
+            config=repro.EstimatorConfig(dtype="mixed", plan_cache=False),
+        )
+        assert sm.last_diagnostics["phases"]["cov_refine"] > 0
+        for a, b in zip(r64, rmx):
+            assert b.diagnostics["cov_dtype"] == "float64"
+            for ca, cb in zip(a.covariances, b.covariances):
+                assert cb.dtype == np.float64
+                scale = max(1.0, float(np.max(np.abs(ca))))
+                np.testing.assert_allclose(
+                    cb, ca, atol=1e-10 * scale, rtol=1e-10
+                )
+
+    def test_means_only_mixed_skips_covariance_refinement(self):
+        probs = [ill_conditioned_problem(n=3, k=9, cond=1e4, seed=0)]
+        sm = repro.BatchSmoother(compute_covariance=False)
+        out = sm.smooth_many(
+            probs,
+            config=repro.EstimatorConfig(dtype="mixed", plan_cache=False),
+        )
+        assert sm.last_diagnostics["phases"]["cov_refine"] == 0.0
+        assert out[0].covariances is None
+        assert out[0].diagnostics["cov_dtype"] is None
+
     def test_refinement_beats_raw_float32(self):
         probs = [ill_conditioned_problem(n=4, k=15, cond=1e4, seed=7)]
         r64 = repro.BatchSmoother().smooth_many(

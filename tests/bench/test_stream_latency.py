@@ -1,0 +1,44 @@
+"""Smoke tests for the sharded-serving latency benchmark harness."""
+
+import json
+
+from repro.bench.harness import results_dir
+from repro.bench.stream_latency import main, stream_latency
+
+
+class TestStreamLatency:
+    def test_record_schema_and_delivery(self):
+        record = stream_latency(
+            n_streams=24,
+            t_steps=6,
+            n=2,
+            lag=2,
+            shards=3,
+            max_batch=16,
+            workers=2,
+            result_name="_test_stream_latency",
+        )
+        assert record["workload"]["streams"] == 24
+        assert record["emissions"] == record["steps_total"] == 24 * 7
+        assert record["steps_per_sec"] > 0
+        lat = record["latency_ms"]
+        assert lat["count"] > 0
+        assert 0 <= lat["p50"] <= lat["p99"] <= lat["max"]
+        assert record["flushes"]["total"] > 0
+        path = results_dir() / "_test_stream_latency.json"
+        assert path.exists()
+        persisted = json.loads(path.read_text())
+        assert persisted["config"]["shards"] == 3
+        assert persisted["config"]["workers"] == 2
+        path.unlink()
+
+    def test_main_quick_mode(self, capsys):
+        main(["--quick", "--streams", "16"])
+        out = capsys.readouterr().out
+        assert "steps/s" in out
+        assert "p99" in out
+        quick = results_dir() / "stream_latency_quick.json"
+        assert quick.exists()
+        persisted = json.loads(quick.read_text())
+        assert persisted["steps_per_sec"] > 0
+        quick.unlink()

@@ -1,0 +1,111 @@
+"""Bounded reorder buffers: the ``max_buffered`` backpressure policy.
+
+Before the bound existed, a stream that never sent its next in-order
+step grew its reorder buffer without limit.  These tests pin the two
+policies: ``reject`` raises :class:`repro.ReorderBufferFullError` and
+drops nothing; ``evict`` keeps the steps closest to the open gap and
+counts the drops.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReorderBufferFullError
+from repro.model.steps import Evolution, Observation
+from repro.stream import StreamServer, StreamStep
+
+
+def make_step(seq, n=2):
+    evo = Evolution(F=np.eye(n)) if seq > 0 else None
+    obs = Observation(G=np.eye(n), o=np.full(n, float(seq)))
+    return StreamStep(seq=seq, evolution=evo, observation=obs)
+
+
+def open_server(**kwargs):
+    server = StreamServer(lag=2, **kwargs)
+    server.open_stream("s", 2, prior=(np.zeros(2), np.eye(2)))
+    server.submit("s", make_step(0))  # applied; the open gap is step 1
+    return server
+
+
+class TestRejectPolicy:
+    def test_overflowing_arrival_is_rejected(self):
+        server = open_server(max_buffered=3)
+        # Steps 2..4 buffer (step 1 is the open gap); step 5 overflows.
+        for seq in (2, 3, 4):
+            server.submit("s", make_step(seq))
+        with pytest.raises(ReorderBufferFullError) as err:
+            server.submit("s", make_step(5))
+        assert "waiting for step 1" in str(err.value)
+        assert "max_buffered=3" in str(err.value)
+        # Nothing was dropped: filling the gap drains everything.
+        server.submit("s", make_step(1))
+        assert server.stats()["per_stream"]["s"]["applied"] == 5
+        assert server.stats()["per_stream"]["s"]["buffered"] == 0
+
+    def test_gap_filling_arrival_is_never_rejected(self):
+        """The in-order step must always get through — rejecting it
+        would deadlock the stream at a full buffer."""
+        server = open_server(max_buffered=2)
+        server.submit("s", make_step(2))
+        server.submit("s", make_step(3))
+        server.submit("s", make_step(1))  # full buffer, but in order
+        assert server.stats()["per_stream"]["s"]["applied"] == 4
+
+    def test_unbounded_remains_the_default(self):
+        server = open_server()
+        for seq in range(2, 40):
+            server.submit("s", make_step(seq))
+        assert server.stats()["per_stream"]["s"]["buffered"] == 38
+
+
+class TestEvictPolicy:
+    def test_furthest_buffered_step_is_dropped(self):
+        server = open_server(max_buffered=2, overflow="evict")
+        server.submit("s", make_step(3))
+        server.submit("s", make_step(5))
+        server.submit("s", make_step(2))  # evicts 5, keeps {2, 3}
+        stats = server.stats()["per_stream"]["s"]
+        assert stats["evicted"] == 1
+        assert stats["buffered"] == 2
+        server.submit("s", make_step(1))
+        # 1 fills the gap; 2 and 3 drain; 5 is gone, 4 reopens a gap.
+        assert server.stats()["per_stream"]["s"]["applied"] == 4
+
+    def test_newcomer_beyond_everything_is_the_victim(self):
+        server = open_server(max_buffered=2, overflow="evict")
+        server.submit("s", make_step(2))
+        server.submit("s", make_step(3))
+        server.submit("s", make_step(9))  # furthest out: dropped
+        stats = server.stats()["per_stream"]["s"]
+        assert stats["evicted"] == 1
+        assert stats["buffered"] == 2
+        server.submit("s", make_step(1))
+        assert server.stats()["per_stream"]["s"]["applied"] == 4
+
+    def test_resent_victim_is_not_a_duplicate(self):
+        server = open_server(max_buffered=1, overflow="evict")
+        server.submit("s", make_step(2))
+        server.submit("s", make_step(3))  # dropped
+        server.submit("s", make_step(1))  # drains 1, 2
+        server.submit("s", make_step(3))  # resend applies in order
+        assert server.stats()["per_stream"]["s"]["applied"] == 4
+        assert server.stats()["per_stream"]["s"]["evicted"] == 1
+
+
+class TestValidation:
+    def test_bad_policy_and_bound(self):
+        with pytest.raises(ValueError):
+            StreamServer(lag=2, overflow="drop-new")
+        with pytest.raises(ValueError):
+            StreamServer(lag=2, max_buffered=0)
+
+    def test_pending_helpers(self):
+        server = open_server()
+        for seq in range(1, 6):
+            server.submit("s", make_step(seq))
+        assert server.pending_emissions("s") == 4  # window 6, lag 2
+        assert server.total_pending() == 4
+        server.flush()
+        assert server.pending_emissions("s") == 0
+        assert server.total_pending() == 0

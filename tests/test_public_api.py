@@ -14,6 +14,7 @@ EXPECTED_ALL = [
     # repro.api — the unified estimator surface
     "Capabilities",
     "EstimatorConfig",
+    "ServingConfig",
     "Smoother",
     "SmootherBase",
     "SmootherRegistry",
@@ -49,8 +50,10 @@ EXPECTED_ALL = [
     "selinv_oddeven",
     "solve_window",
     # streaming
+    "AsyncStreamServer",
     "Emission",
     "FixedLagSmoother",
+    "ShardedStreamServer",
     "StreamServer",
     "StreamStep",
     # model construction
@@ -70,6 +73,7 @@ EXPECTED_ALL = [
     "tracking_2d_problem",
     # results and errors
     "SmootherResult",
+    "ReorderBufferFullError",
     "UnobservableStateError",
     # parallel runtime
     "E5_2699V3",
