@@ -28,6 +28,7 @@ tells a driver what each one supports.
 
 import warnings as _warnings
 
+from . import obs
 from .api import (
     Capabilities,
     EstimatorConfig,
@@ -98,7 +99,9 @@ from .parallel import (
     work_stealing_schedule,
     worker_pool,
 )
+from .obs import MetricsRegistry, NullRegistry
 from .stream import (
+    AdaptiveBatchController,
     AsyncStreamServer,
     Emission,
     FixedLagSmoother,
@@ -165,6 +168,10 @@ __all__ = [
     "solve_window",
     "UnobservableStateError",
     "ReorderBufferFullError",
+    "MetricsRegistry",
+    "NullRegistry",
+    "obs",
+    "AdaptiveBatchController",
     "AsyncStreamServer",
     "Emission",
     "FixedLagSmoother",

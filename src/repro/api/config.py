@@ -195,6 +195,22 @@ class ServingConfig:
         every shard's :class:`~repro.stream.StreamServer`.  Unlike the
         bare server, serving defaults to a *bounded* buffer — an
         unbounded default is how slow producers take a fleet down.
+    latency_slo:
+        Target p99 emission queueing latency in **seconds**.  ``None``
+        (default) serves with the static ``max_batch`` trigger.  Set,
+        it arms an :class:`~repro.stream.AdaptiveBatchController` that
+        resizes the effective batch trigger against the *observed* p99
+        (from the bounded latency reservoir): shrink on breach, grow
+        back under headroom, hysteresis in between.  ``max_batch``
+        becomes the adaptation's upper bound (never exceeded), so
+        backpressure bounds are never loosened by adaptation.
+    min_batch:
+        Lower bound for the adaptive batch trigger (ignored without
+        ``latency_slo``).
+    adapt_interval / adapt_min_samples:
+        Decision rate limits for the controller: at least this many
+        seconds *and* this many fresh latency samples between
+        resizes.
     """
 
     shards: int = 4
@@ -202,6 +218,10 @@ class ServingConfig:
     max_delay: float = 0.005
     max_buffered: int | None = 64
     overflow: str = "reject"
+    latency_slo: float | None = None
+    min_batch: int = 1
+    adapt_interval: float = 0.25
+    adapt_min_samples: int = 32
 
     def __post_init__(self):
         if self.shards < 1:
@@ -222,6 +242,29 @@ class ServingConfig:
             raise ValueError(
                 f"unknown overflow policy {self.overflow!r}; expected "
                 "'reject' or 'evict'"
+            )
+        if self.latency_slo is not None and self.latency_slo <= 0.0:
+            raise ValueError(
+                f"latency_slo must be > 0 seconds or None, got "
+                f"{self.latency_slo}"
+            )
+        if self.min_batch < 1:
+            raise ValueError(
+                f"min_batch must be >= 1, got {self.min_batch}"
+            )
+        if self.max_batch is not None and self.min_batch > self.max_batch:
+            raise ValueError(
+                f"min_batch ({self.min_batch}) must be <= max_batch "
+                f"({self.max_batch})"
+            )
+        if self.adapt_interval <= 0.0:
+            raise ValueError(
+                f"adapt_interval must be > 0, got {self.adapt_interval}"
+            )
+        if self.adapt_min_samples < 1:
+            raise ValueError(
+                f"adapt_min_samples must be >= 1, got "
+                f"{self.adapt_min_samples}"
             )
 
     def replace(self, **overrides: Any) -> "ServingConfig":

@@ -45,6 +45,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
+from .. import obs
 from ..model.problem import StateSpaceProblem
 from .stacking import (
     BucketLayout,
@@ -168,11 +169,17 @@ class SmoothPlan:
         free list, up to :attr:`max_pooled` sets; beyond that it is
         dropped.
         """
+        registry = obs.get_registry()
         with self._pool_lock:
             self.leases += 1
             workspaces = self._pool.pop() if self._pool else None
             if workspaces is None:
                 self.clones += 1
+        registry.counter("repro_plan_workspace_leases_total").inc()
+        if workspaces is None:
+            # Pool contention: a concurrent replay holds every pooled
+            # set, so this caller pays a clone.
+            registry.counter("repro_plan_workspace_clones_total").inc()
         if workspaces is None:
             workspaces = [
                 bp.layout.clone() if bp.layout is not None else None
@@ -263,13 +270,16 @@ class PlanCache:
         self, key: tuple, builder: Callable[[], SmoothPlan]
     ) -> tuple[SmoothPlan, bool]:
         """Return ``(plan, was_hit)`` for ``key``, building on a miss."""
+        registry = obs.get_registry()
         with self._lock:
             plan = self._plans.get(key)
             if plan is not None:
                 self._plans.move_to_end(key)
                 self.hits += 1
+                registry.counter("repro_plan_cache_hits_total").inc()
                 return plan, True
         plan = builder()
+        evicted = 0
         with self._lock:
             self.misses += 1
             self._plans[key] = plan
@@ -277,6 +287,12 @@ class PlanCache:
             while len(self._plans) > self.maxsize:
                 self._plans.popitem(last=False)
                 self.evictions += 1
+                evicted += 1
+        registry.counter("repro_plan_cache_misses_total").inc()
+        if evicted:
+            registry.counter("repro_plan_cache_evictions_total").inc(
+                evicted
+            )
         return plan, False
 
     def get(self, key: tuple) -> SmoothPlan | None:

@@ -47,6 +47,7 @@ from contextlib import nullcontext
 
 import numpy as np
 
+from .. import obs
 from ..api import Capabilities, EstimatorConfig, SmootherBase
 from ..api.base import _cast_result
 from ..core.oddeven_qr import oddeven_factorize
@@ -202,7 +203,12 @@ class BatchSmoother(SmootherBase):
     counters) and per-phase wall-clock timings (``plan``, ``stack``,
     ``factorize``, ``solve``, ``refine``, ``selinv``, ``scan``) — the
     observability hook the plan-cache bench records to
-    ``results/plan_cache.json``.
+    ``results/plan_cache.json``.  The same signals accumulate in the
+    process :mod:`repro.obs` registry (``repro_batch_phase_seconds``
+    histograms per phase, call/sequence counters,
+    ``repro_plan_workspace_bytes``) for the JSON and Prometheus
+    exporters; swap in a :class:`~repro.obs.NullRegistry` to switch
+    that off (``bench/batch.py --obs`` measures the overhead).
     """
 
     def __init__(
@@ -374,7 +380,39 @@ class BatchSmoother(SmootherBase):
         if plan is not None:
             diag["plan_cache"]["workspaces"] = plan.workspace_stats()
         diag["total_s"] = time.perf_counter() - t_start
+        self._publish_metrics(diag, plan)
         return results  # type: ignore[return-value]
+
+    @staticmethod
+    def _publish_metrics(diag: dict, plan) -> None:
+        """Report one call's diagnostics through :mod:`repro.obs`.
+
+        ``last_diagnostics`` stays the per-call view; the registry
+        accumulates across calls (per-phase timing histograms, call
+        and sequence counters, plan workspace footprint).  Looked up
+        dynamically so swapping in a :class:`~repro.obs.NullRegistry`
+        turns the cost into a few no-op calls (measured by
+        ``bench/batch.py --obs``).
+        """
+        registry = obs.get_registry()
+        if not registry.enabled:
+            return
+        for phase, seconds in diag["phases"].items():
+            if seconds > 0.0:
+                registry.histogram(
+                    "repro_batch_phase_seconds", phase=phase
+                ).observe(seconds)
+        registry.counter("repro_batch_smooth_many_total").inc()
+        registry.counter("repro_batch_sequences_total").inc(
+            diag["workload"]
+        )
+        registry.histogram("repro_batch_call_seconds").observe(
+            diag["total_s"]
+        )
+        if plan is not None:
+            registry.gauge("repro_plan_workspace_bytes").set(
+                plan.nbytes()
+            )
 
     # ------------------------------------------------------------------
     # per-bucket engines

@@ -18,25 +18,44 @@ allocation) is pure overhead after the first call.  It reports cold
 throughput, the per-phase timing split from
 ``BatchSmoother.last_diagnostics``, and the cache counters.
 
+A third benchmark, :func:`obs_overhead`, prices the
+:mod:`repro.obs` instrumentation itself: warm plan-cached
+``smooth_many`` throughput with a live :class:`~repro.obs.MetricsRegistry`
+versus a :class:`~repro.obs.NullRegistry`, on the serving-shaped
+workload where per-call overhead matters most.  The hot path looks the
+registry up dynamically, so swapping in the null registry is exactly
+the "metrics disabled" configuration.
+
 Run as a module for the table + JSON artifact::
 
     PYTHONPATH=src python -m repro.bench.batch            # full sweep
     PYTHONPATH=src python -m repro.bench.batch --quick    # CI smoke
     PYTHONPATH=src python -m repro.bench.batch --plan     # plan cache
     PYTHONPATH=src python -m repro.bench.batch --plan-quick  # CI smoke
+    PYTHONPATH=src python -m repro.bench.batch --obs      # obs overhead
 
-Results are persisted to ``results/batch_throughput.json`` and
-``results/plan_cache.json``.
+Results are persisted to ``results/batch_throughput.json``,
+``results/plan_cache.json``, and ``results/obs_overhead.json``.
 """
 
 from __future__ import annotations
 
+import time
+
+import numpy as np
+
+from .. import obs
 from ..api import EstimatorConfig, make_smoother
 from ..batch.plan import PlanCache
 from ..model.generators import random_problem
 from .harness import ascii_curve, format_series_table, median_time, save_results
 
-__all__ = ["batch_throughput", "plan_cache_amortization", "main"]
+__all__ = [
+    "batch_throughput",
+    "obs_overhead",
+    "plan_cache_amortization",
+    "main",
+]
 
 DEFAULT_BATCH_SIZES = (1, 4, 16, 64, 256)
 
@@ -176,6 +195,74 @@ def plan_cache_amortization(
     return record
 
 
+def obs_overhead(
+    batch: int = 64,
+    k: int = 7,
+    n: int = 4,
+    repeats: int = 15,
+    result_name: str = "obs_overhead",
+) -> dict:
+    """Warm plan-cached ``smooth_many`` with metrics on vs off.
+
+    Times the same warm-cache serving-shaped workload as
+    :func:`plan_cache_amortization` under a live registry and under
+    :class:`~repro.obs.NullRegistry`, and reports the on/off wall-clock
+    ratio.  The acceptance budget is <2% overhead: the hot path pays
+    one registry lookup plus a handful of counter increments and
+    histogram observations per *call* (not per sequence), so the cost
+    is amortized across the batch.
+
+    On/off timings are *interleaved* (one pair per round, medians over
+    rounds) so slow clock drift — thermal throttling, a background
+    compile — lands on both sides instead of biasing whichever side is
+    measured second.
+    """
+    smoother = make_smoother("batch-odd-even")
+    problems = _workload(batch, k, n)
+    cache = PlanCache()
+    config = EstimatorConfig(plan_cache=cache)
+
+    def warm_call():
+        smoother.smooth_many(problems, config=config)
+
+    live = obs.MetricsRegistry()
+    # Populate the plan cache and create the live registry's
+    # instruments before either timed region.
+    with obs.use_registry(obs.NullRegistry()):
+        warm_call()
+    with obs.use_registry(live):
+        warm_call()
+    times_off: list[float] = []
+    times_on: list[float] = []
+    for _ in range(repeats):
+        with obs.use_registry(obs.NullRegistry()):
+            t0 = time.perf_counter()
+            warm_call()
+            times_off.append(time.perf_counter() - t0)
+        with obs.use_registry(live):
+            t0 = time.perf_counter()
+            warm_call()
+            times_on.append(time.perf_counter() - t0)
+    t_off = float(np.median(times_off))
+    t_on = float(np.median(times_on))
+    record = {
+        "workload": {
+            "batch": batch,
+            "k": k,
+            "n": n,
+            "repeats": repeats,
+        },
+        "metrics_off_seconds": t_off,
+        "metrics_on_seconds": t_on,
+        "metrics_off_seq_per_sec": batch / t_off,
+        "metrics_on_seq_per_sec": batch / t_on,
+        "overhead_ratio": t_on / t_off,
+        "overhead_pct": (t_on / t_off - 1.0) * 100.0,
+    }
+    save_results(result_name, record)
+    return record
+
+
 def _print_plan_record(record: dict) -> None:
     w = record["workload"]
     print(
@@ -234,7 +321,29 @@ def main(argv: list[str] | None = None) -> None:
         action="store_true",
         help="small plan-cache run for CI (asserts a warm hit rate)",
     )
+    parser.add_argument(
+        "--obs",
+        action="store_true",
+        help="instrumentation overhead: metrics on vs NullRegistry",
+    )
     args = parser.parse_args(argv)
+    if args.obs:
+        record = obs_overhead()
+        w = record["workload"]
+        print(
+            f"Instrumentation overhead (warm plan-cached smooth_many, "
+            f"batch={w['batch']}, k={w['k']}, n={w['n']})"
+        )
+        print(
+            f"  metrics off {record['metrics_off_seconds'] * 1e3:8.2f} ms"
+            f"  {record['metrics_off_seq_per_sec']:10.1f} seq/s"
+        )
+        print(
+            f"  metrics on  {record['metrics_on_seconds'] * 1e3:8.2f} ms"
+            f"  {record['metrics_on_seq_per_sec']:10.1f} seq/s"
+        )
+        print(f"  overhead: {record['overhead_pct']:+.2f}%")
+        return
     if args.plan or args.plan_quick:
         if args.plan_quick:
             record = plan_cache_amortization(

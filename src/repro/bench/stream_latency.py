@@ -15,6 +15,14 @@ sees; stream *contents* are recycled from a small pool of generated
 problems because latency and throughput depend on shapes and counts,
 not on the numbers being smoothed.
 
+Each run executes inside its own :class:`~repro.obs.MetricsRegistry`
+(installed process-wide for the duration, so the plan cache, batch
+smoother phases, and worker pool all report into it) and the server
+adapts ``max_batch`` against the ``latency_slo`` SLO.  Alongside the
+JSON record, the full registry is exported as a Prometheus text
+artifact — ``results/<name>.prom`` — which CI parses to assert the
+required series exist.
+
 Run as a module for the table + JSON artifact::
 
     PYTHONPATH=src python -m repro.bench.stream_latency           # 1024 streams
@@ -27,11 +35,12 @@ from __future__ import annotations
 
 import time
 
+from .. import obs
 from ..api import ServingConfig
 from ..model.problem import StateSpaceProblem
 from ..parallel.backend import worker_pool
 from ..stream import ShardedStreamServer, StreamStep
-from .harness import save_results
+from .harness import results_dir, save_results
 from .stream import _prior, _workload
 
 __all__ = ["stream_latency", "main"]
@@ -93,6 +102,7 @@ def stream_latency(
     shards: int = 8,
     max_batch: int = 256,
     max_delay: float = 0.002,
+    latency_slo: float | None = 0.050,
     workers: int | None = None,
     result_name: str = "stream_latency",
 ) -> dict:
@@ -100,7 +110,10 @@ def stream_latency(
 
     Every stream's every state must be emitted exactly once (checked);
     the persisted record carries the latency percentiles in
-    milliseconds, the aggregate steps/sec, and the configuration.
+    milliseconds, the aggregate steps/sec, the configuration, and —
+    when ``latency_slo`` is set — the adaptive controller's decision
+    counters and final effective ``max_batch``.  The run's complete
+    metrics registry lands at ``results/<result_name>.prom``.
     """
     problems = _workload(min(n_streams, PROBLEM_POOL), t_steps, n)
     stream_ids = [f"stream-{i}" for i in range(n_streams)]
@@ -109,9 +122,13 @@ def stream_latency(
         max_batch=max_batch,
         max_delay=max_delay,
         max_buffered=64,
+        latency_slo=latency_slo,
     )
-    with worker_pool(workers) as backend:
-        server = ShardedStreamServer(lag, config, backend=backend)
+    registry = obs.MetricsRegistry()
+    with obs.use_registry(registry), worker_pool(workers) as backend:
+        server = ShardedStreamServer(
+            lag, config, backend=backend, registry=registry
+        )
         t0 = time.perf_counter()
         emissions = _drive(server, problems, stream_ids)
         seconds = time.perf_counter() - t0
@@ -137,6 +154,7 @@ def stream_latency(
             "shards": shards,
             "max_batch": max_batch,
             "max_delay_ms": max_delay * 1e3,
+            "slo_ms": None if latency_slo is None else latency_slo * 1e3,
             "workers": backend.num_threads,
         },
         "steps_total": steps_total,
@@ -145,6 +163,8 @@ def stream_latency(
         "steps_per_sec": steps_total / seconds,
         "latency_ms": {
             "count": latency["count"],
+            "window": latency["window"],
+            "retained": latency["retained"],
             "p50": latency["p50"] * 1e3,
             "p99": latency["p99"] * 1e3,
             "max": latency["max"] * 1e3,
@@ -155,8 +175,12 @@ def stream_latency(
                 s["batch_flushes"] for s in stats["per_shard"]
             ),
         },
+        "effective_max_batch": stats["max_batch"],
+        "adaptive": stats["adaptive"],
     }
     save_results(result_name, record)
+    prom_path = results_dir() / f"{result_name}.prom"
+    prom_path.write_text(obs.to_prometheus(registry))
     return record
 
 
@@ -193,16 +217,29 @@ def main(argv: list[str] | None = None) -> None:
         f"{record['steps_per_sec']:.0f} steps/s over "
         f"{record['steps_total']} steps"
     )
-    print(
-        f"emission latency: p50 {lat['p50']:.3f} ms, "
-        f"p99 {lat['p99']:.3f} ms, max {lat['max']:.3f} ms "
-        f"({lat['count']} recorded; deadline "
-        f"{record['config']['max_delay_ms']:.1f} ms + solve time)"
-    )
+    if lat["count"] == 0:
+        print("emission latency: no emissions recorded")
+    else:
+        print(
+            f"emission latency: p50 {lat['p50']:.3f} ms, "
+            f"p99 {lat['p99']:.3f} ms, max {lat['max']:.3f} ms "
+            f"({lat['count']} recorded, last {lat['retained']} "
+            f"of window {lat['window']} in percentiles; deadline "
+            f"{record['config']['max_delay_ms']:.1f} ms + solve time)"
+        )
     print(
         f"flushes: {record['flushes']['total']} total, "
         f"{record['flushes']['batch_triggered']} size-triggered"
     )
+    adaptive = record["adaptive"]
+    if adaptive is not None:
+        print(
+            f"SLO {record['config']['slo_ms']:.1f} ms: max_batch "
+            f"{record['config']['max_batch']} -> "
+            f"{record['effective_max_batch']} "
+            f"({adaptive['decisions']} decisions, "
+            f"{adaptive['grows']} grows, {adaptive['shrinks']} shrinks)"
+        )
 
 
 if __name__ == "__main__":

@@ -1,0 +1,162 @@
+"""Exporters: JSON snapshots and Prometheus text format.
+
+Two consumers, two formats:
+
+* :func:`to_json` — a plain-dict snapshot for the ``results/*.json``
+  bench artifacts (stable schemas: a histogram's fields are always
+  floats/ints, never ``None``).
+* :func:`to_prometheus` — the Prometheus text exposition format
+  (counters and gauges as-is, histograms as summaries with
+  ``quantile`` labels plus ``_sum``/``_count`` series), for a scrape
+  endpoint or a file the CI smoke parses.
+
+:func:`parse_prometheus` is the matching reader: it validates the text
+format line by line and returns the series by name, which is what the
+CI metrics smoke asserts against (required series present, sane
+values) without taking a dependency on a Prometheus client library.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .metrics import SNAPSHOT_QUANTILES, MetricsRegistry
+
+__all__ = ["to_json", "to_prometheus", "parse_prometheus"]
+
+
+def _series_key(name: str, labels: dict) -> str:
+    if not labels:
+        return name
+    inner = ",".join(
+        f'{k}="{v}"' for k, v in sorted(labels.items())
+    )
+    return f"{name}{{{inner}}}"
+
+
+def to_json(registry: MetricsRegistry) -> dict:
+    """Snapshot every instrument as a JSON-serializable dict.
+
+    Shape::
+
+        {"counters":   {"name{k=\"v\"}": value, ...},
+         "gauges":     {...},
+         "histograms": {"name": {"count": ..., "p99": ..., ...}}}
+    """
+    out: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+    for kind, name, labels, instrument in registry.collect():
+        key = _series_key(name, labels)
+        if kind == "counter":
+            out["counters"][key] = instrument.value
+        elif kind == "gauge":
+            out["gauges"][key] = instrument.value
+        else:
+            out["histograms"][key] = instrument.snapshot()
+    return out
+
+
+def _escape_label(value) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _prom_labels(labels: dict, extra: dict | None = None) -> str:
+    merged = dict(sorted(labels.items()))
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(
+        f'{k}="{_escape_label(v)}"' for k, v in merged.items()
+    )
+    return f"{{{inner}}}"
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Render every instrument in the Prometheus text format.
+
+    Histograms export as summaries: one sample per quantile in
+    :data:`~repro.obs.metrics.SNAPSHOT_QUANTILES` (over the bounded
+    recent-window reservoir) plus exact ``_sum`` and ``_count``.
+    """
+    lines: list[str] = []
+    typed: set[str] = set()
+    for kind, name, labels, instrument in registry.collect():
+        if name not in typed:
+            prom_kind = {
+                "counter": "counter",
+                "gauge": "gauge",
+                "histogram": "summary",
+            }[kind]
+            lines.append(f"# TYPE {name} {prom_kind}")
+            typed.add(name)
+        if kind in ("counter", "gauge"):
+            lines.append(
+                f"{name}{_prom_labels(labels)} {instrument.value:.17g}"
+            )
+            continue
+        snap = instrument.snapshot()
+        for q in SNAPSHOT_QUANTILES:
+            value = snap[f"p{int(q * 100)}"]
+            label_str = _prom_labels(labels, {"quantile": repr(q)})
+            lines.append(f"{name}{label_str} {value:.17g}")
+        lines.append(
+            f"{name}_sum{_prom_labels(labels)} {snap['sum']:.17g}"
+        )
+        lines.append(
+            f"{name}_count{_prom_labels(labels)} {snap['count']}"
+        )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+_METRIC_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)$"
+)
+_LABEL_PAIR = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_prometheus(text: str) -> dict[str, list[dict]]:
+    """Parse Prometheus text format back into series by name.
+
+    Returns ``{metric_name: [{"labels": {...}, "value": float}, ...]}``
+    with summary ``_sum``/``_count`` series under their own names.
+    Raises :class:`ValueError` on any malformed line — this is the
+    validation the CI metrics smoke relies on.
+    """
+    series: dict[str, list[dict]] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _METRIC_LINE.match(line)
+        if match is None:
+            raise ValueError(
+                f"malformed metric line {lineno}: {raw!r}"
+            )
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            raise ValueError(
+                f"non-numeric value on line {lineno}: {raw!r}"
+            ) from None
+        label_text = match.group("labels") or ""
+        labels = {
+            key: val.replace('\\"', '"').replace("\\\\", "\\")
+            for key, val in _LABEL_PAIR.findall(label_text)
+        }
+        # Every k="v" pair must be consumed; leftovers mean bad syntax.
+        stripped = _LABEL_PAIR.sub("", label_text).replace(",", "").strip()
+        if stripped:
+            raise ValueError(
+                f"malformed labels on line {lineno}: {raw!r}"
+            )
+        series.setdefault(match.group("name"), []).append(
+            {"labels": labels, "value": value}
+        )
+    return series

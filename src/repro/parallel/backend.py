@@ -31,9 +31,11 @@ noted).
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Sequence
 
+from .. import obs
 from .tally import CostTally, tally_scope
 from .task_graph import TaskGraph, TaskRecord
 
@@ -126,7 +128,16 @@ class SerialBackend(Backend):
 
 
 class ThreadPoolBackend(Backend):
-    """Real threads over a shared pool; LAPACK kernels release the GIL."""
+    """Real threads over a shared pool; LAPACK kernels release the GIL.
+
+    The worker pool is the serving tier's execution substrate (shard
+    flushes fan out through it), so it reports utilization through
+    :mod:`repro.obs`: dispatched vs inline map calls, task counts, and
+    busy-seconds (summed per-block execution time) against
+    wall-seconds — ``busy / (wall * num_threads)`` is the pool's
+    utilization over any scrape interval.  Instruments bind to the
+    process registry at construction.
+    """
 
     name = "threads"
     is_parallel = True
@@ -139,23 +150,54 @@ class ThreadPoolBackend(Backend):
             raise ValueError(f"num_threads must be >= 1, got {num_threads}")
         self.num_threads = num_threads
         self._pool = ThreadPoolExecutor(max_workers=num_threads)
+        registry = obs.get_registry()
+        registry.gauge("repro_backend_workers", backend=self.name).set(
+            num_threads
+        )
+        self._m_dispatched = registry.counter(
+            "repro_backend_map_calls_total",
+            backend=self.name,
+            mode="pooled",
+        )
+        self._m_inline = registry.counter(
+            "repro_backend_map_calls_total",
+            backend=self.name,
+            mode="inline",
+        )
+        self._m_tasks = registry.counter(
+            "repro_backend_tasks_total", backend=self.name
+        )
+        self._m_busy = registry.counter(
+            "repro_backend_busy_seconds_total", backend=self.name
+        )
+        self._m_wall = registry.counter(
+            "repro_backend_wall_seconds_total", backend=self.name
+        )
 
     def map(self, items, body, *, phase="", block_size=None):
         items = list(items)
         bs = block_size or self.block_size
         if len(items) <= bs or self.num_threads == 1:
+            self._m_inline.inc()
             return [body(item) for item in items]
         blocks = blocked_ranges(len(items), bs)
 
         def run_block(block: range) -> list[Any]:
-            return [body(items[i]) for i in block]
+            t0 = time.perf_counter()
+            out = [body(items[i]) for i in block]
+            self._m_busy.inc(time.perf_counter() - t0)
+            return out
 
+        self._m_dispatched.inc()
+        self._m_tasks.inc(len(blocks))
+        t_wall = time.perf_counter()
         results: list[Any] = [None] * len(items)
         for block, block_result in zip(
             blocks, self._pool.map(run_block, blocks)
         ):
             for i, value in zip(block, block_result):
                 results[i] = value
+        self._m_wall.inc(time.perf_counter() - t_wall)
         return results
 
     def close(self) -> None:

@@ -30,11 +30,13 @@ foundation:
     (see ``repro.bench.stream_latency`` for the load generator).
 """
 
+from .adaptive import AdaptiveBatchController
 from .async_server import AsyncStreamServer, ShardedStreamServer, shard_of
 from .fixed_lag import Emission, FixedLagSmoother
 from .server import StreamServer, StreamStep
 
 __all__ = [
+    "AdaptiveBatchController",
     "AsyncStreamServer",
     "Emission",
     "FixedLagSmoother",

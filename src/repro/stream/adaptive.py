@@ -1,0 +1,207 @@
+"""SLO-driven adaptive micro-batch sizing for the sharded server.
+
+The adaptive micro-batcher of
+:class:`~repro.stream.async_server.ShardedStreamServer` flushes a
+shard on a ``max_batch`` size trigger or a ``max_delay`` deadline.
+``max_batch`` trades throughput for latency: bigger batches amortize
+the stacked-solve overhead (the paper's whole speedup mechanism),
+smaller ones bound how long a due state queues.  The right value
+depends on the host and the traffic, so a static setting is always
+wrong somewhere — this module closes the loop against the *observed*
+p99 instead.
+
+:class:`AdaptiveBatchController` watches the bounded emission-latency
+reservoir (:class:`repro.obs.Histogram` — recent-window quantiles, the
+quantity an SLO bounds) and resizes the effective ``max_batch``:
+
+* **shrink** (multiplicative, fast) when the recent p99 breaches the
+  SLO — smaller batches flush sooner and queue less;
+* **grow** (multiplicative, slow) when the p99 sits below
+  ``headroom * slo`` — there is latency budget to convert into
+  throughput;
+* **hold** in the dead band between the two thresholds, and for a
+  cooldown after every shrink — the hysteresis that prevents
+  grow/shrink oscillation around the SLO.
+
+Decisions are rate-limited (``interval`` seconds apart, ``min_samples``
+fresh observations each) and always clamped to
+``[min_batch, max_batch]`` — the controller can never raise the batch
+trigger above the configured cap, so the reorder-buffer backpressure
+bounds (``max_buffered``) are never loosened by adaptation.  The clock
+is injectable: the hysteresis tests advance a fake clock instead of
+sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+__all__ = ["AdaptiveBatchController"]
+
+
+class AdaptiveBatchController:
+    """Resize a micro-batch trigger against an observed-p99 SLO.
+
+    Parameters
+    ----------
+    slo:
+        Target p99 latency in seconds (the ``ServingConfig.latency_slo``
+        knob).  Breaching it shrinks the batch trigger.
+    histogram:
+        The :class:`repro.obs.Histogram` receiving the latency samples
+        (the sharded server's emission queueing-latency reservoir).
+        Quantiles over its bounded recent window drive decisions.
+    initial:
+        Starting batch trigger, clamped into ``[min_batch, max_batch]``.
+    min_batch / max_batch:
+        Hard bounds on the effective trigger.  ``max_batch`` defaults
+        to ``initial`` — adaptation never batches *more* than the
+        configured trigger, only backs off and recovers.
+    interval:
+        Minimum seconds between decisions.
+    min_samples:
+        Minimum fresh histogram observations since the last decision —
+        a decision based on two samples is noise.
+    headroom:
+        Grow only when ``p99 <= headroom * slo``; the gap between
+        ``headroom * slo`` and ``slo`` is the hysteresis dead band.
+    grow_factor / shrink_factor:
+        Multiplicative step sizes (AIMD-flavored: shrink harder than
+        grow, so a breach is corrected in one or two decisions).
+    cooldown:
+        Number of ``interval``\\ s after a shrink during which growth
+        is suppressed (the other half of the hysteresis: a shrink must
+        prove itself before the controller probes upward again).
+    clock:
+        Monotonic-seconds callable; injectable for sleep-free tests.
+    """
+
+    def __init__(
+        self,
+        slo: float,
+        histogram,
+        *,
+        initial: int,
+        min_batch: int = 1,
+        max_batch: int | None = None,
+        interval: float = 0.25,
+        min_samples: int = 32,
+        headroom: float = 0.7,
+        grow_factor: float = 1.25,
+        shrink_factor: float = 0.5,
+        cooldown: int = 2,
+        clock: Callable[[], float] | None = None,
+    ):
+        if slo <= 0.0:
+            raise ValueError(f"slo must be > 0 seconds, got {slo}")
+        if initial < 1:
+            raise ValueError(f"initial must be >= 1, got {initial}")
+        if min_batch < 1:
+            raise ValueError(f"min_batch must be >= 1, got {min_batch}")
+        if max_batch is None:
+            max_batch = initial
+        if max_batch < min_batch:
+            raise ValueError(
+                f"max_batch ({max_batch}) must be >= min_batch "
+                f"({min_batch})"
+            )
+        if interval <= 0.0:
+            raise ValueError(f"interval must be > 0, got {interval}")
+        if min_samples < 1:
+            raise ValueError(
+                f"min_samples must be >= 1, got {min_samples}"
+            )
+        if not 0.0 < headroom < 1.0:
+            raise ValueError(
+                f"headroom must be in (0, 1), got {headroom}"
+            )
+        if grow_factor <= 1.0:
+            raise ValueError(
+                f"grow_factor must be > 1, got {grow_factor}"
+            )
+        if not 0.0 < shrink_factor < 1.0:
+            raise ValueError(
+                f"shrink_factor must be in (0, 1), got {shrink_factor}"
+            )
+        if cooldown < 0:
+            raise ValueError(f"cooldown must be >= 0, got {cooldown}")
+        self.slo = float(slo)
+        self.histogram = histogram
+        self.min_batch = int(min_batch)
+        self.max_batch = int(max_batch)
+        self.current = min(max(int(initial), self.min_batch), self.max_batch)
+        self.interval = float(interval)
+        self.min_samples = int(min_samples)
+        self.headroom = float(headroom)
+        self.grow_factor = float(grow_factor)
+        self.shrink_factor = float(shrink_factor)
+        self.cooldown = int(cooldown)
+        self.clock = clock if clock is not None else time.monotonic
+        self.grows = 0
+        self.shrinks = 0
+        self.decisions = 0
+        self.last_p99 = 0.0
+        self._last_t: float | None = None
+        self._seen = histogram.count
+        self._no_growth_until = float("-inf")
+
+    def update(self, now: float | None = None) -> int:
+        """Run (at most) one decision; returns the effective trigger.
+
+        Cheap when called often: the rate limit is one clock read and a
+        comparison, so the server can call this from every poll.
+        """
+        if now is None:
+            now = self.clock()
+        if self._last_t is None:
+            # First call anchors the decision clock; no data yet.
+            self._last_t = now
+            self._seen = self.histogram.count
+            return self.current
+        if now - self._last_t < self.interval:
+            return self.current
+        fresh = self.histogram.count - self._seen
+        if fresh < self.min_samples:
+            # Keep waiting for evidence; the interval clock is NOT
+            # reset, so the decision fires as soon as samples arrive.
+            return self.current
+        p99 = self.histogram.quantile(0.99)
+        self._last_t = now
+        self._seen = self.histogram.count
+        self.decisions += 1
+        self.last_p99 = p99
+        if p99 > self.slo:
+            new = max(
+                self.min_batch, int(self.current * self.shrink_factor)
+            )
+            self._no_growth_until = now + self.cooldown * self.interval
+            if new != self.current:
+                self.current = new
+                self.shrinks += 1
+        elif (
+            p99 <= self.headroom * self.slo
+            and now >= self._no_growth_until
+        ):
+            new = min(
+                self.max_batch,
+                max(self.current + 1, int(self.current * self.grow_factor)),
+            )
+            if new != self.current:
+                self.current = new
+                self.grows += 1
+        # Dead band (headroom * slo < p99 <= slo): hold steady.
+        return self.current
+
+    def stats(self) -> dict:
+        """Stable-schema counters for ``ShardedStreamServer.stats()``."""
+        return {
+            "slo": self.slo,
+            "current": self.current,
+            "min_batch": self.min_batch,
+            "max_batch": self.max_batch,
+            "decisions": self.decisions,
+            "grows": self.grows,
+            "shrinks": self.shrinks,
+            "last_p99": self.last_p99,
+        }

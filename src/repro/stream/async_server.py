@@ -46,14 +46,18 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable
 
-import numpy as np
-
+from .. import obs
 from ..api import ServingConfig
 from ..parallel.backend import Backend
+from .adaptive import AdaptiveBatchController
 from .fixed_lag import Emission
 from .server import StreamServer, StreamStep
 
 __all__ = ["AsyncStreamServer", "ShardedStreamServer", "shard_of"]
+
+#: reservoir size of the emission queueing-latency histogram — the
+#: bounded replacement for the historical unbounded latency list
+LATENCY_WINDOW = 4096
 
 
 def shard_of(stream_id, shards: int) -> int:
@@ -80,6 +84,10 @@ class _Shard:
     ready_since: dict = field(default_factory=dict)
     flushes: int = 0
     batch_flushes: int = 0
+    #: registry instruments, bound at server construction
+    flush_counter: obs.Counter | None = None
+    batch_flush_counter: obs.Counter | None = None
+    emission_counter: obs.Counter | None = None
 
 
 class ShardedStreamServer:
@@ -104,6 +112,12 @@ class ShardedStreamServer:
     clock:
         Monotonic-seconds callable; defaults to ``time.monotonic``.
         Injectable so deadline behavior is testable without sleeping.
+    registry:
+        The :class:`~repro.obs.MetricsRegistry` this server reports
+        through (emission-latency reservoir, per-shard flush counters,
+        adaptive-controller gauge).  Defaults to the process-wide
+        :func:`repro.obs.get_registry`; inject one per server for
+        isolated scrapes.
 
     Notes
     -----
@@ -125,9 +139,13 @@ class ShardedStreamServer:
         smoother=None,
         dtype=None,
         clock: Callable[[], float] | None = None,
+        registry: obs.MetricsRegistry | None = None,
     ):
         self.config = config if config is not None else ServingConfig()
         self.clock = clock if clock is not None else time.monotonic
+        self.registry = (
+            registry if registry is not None else obs.get_registry()
+        )
         self._backend = backend
         self._shards = [
             _Shard(
@@ -138,13 +156,54 @@ class ShardedStreamServer:
                     dtype=dtype,
                     max_buffered=self.config.max_buffered,
                     overflow=self.config.overflow,
-                )
+                    registry=self.registry,
+                ),
+                flush_counter=self.registry.counter(
+                    "repro_serving_shard_flushes_total", shard=str(i)
+                ),
+                batch_flush_counter=self.registry.counter(
+                    "repro_serving_shard_batch_flushes_total",
+                    shard=str(i),
+                ),
+                emission_counter=self.registry.counter(
+                    "repro_serving_shard_emissions_total", shard=str(i)
+                ),
             )
-            for _ in range(self.config.shards)
+            for i in range(self.config.shards)
         ]
         self._out: dict = {}
         self._out_lock = threading.Lock()
-        self._latencies: list[float] = []
+        # The bounded reservoir replacing the historical unbounded
+        # ``_latencies`` list: exact count/min/max forever, quantiles
+        # over the most recent LATENCY_WINDOW emissions.
+        self._latency_hist = self.registry.histogram(
+            "repro_serving_emission_latency_seconds",
+            window=LATENCY_WINDOW,
+        )
+        self._max_batch = self.config.max_batch
+        self._controller: AdaptiveBatchController | None = None
+        self._max_batch_gauge = self.registry.gauge(
+            "repro_serving_max_batch"
+        )
+        if self.config.latency_slo is not None:
+            initial = (
+                self.config.max_batch
+                if self.config.max_batch is not None
+                else 64
+            )
+            self._controller = AdaptiveBatchController(
+                self.config.latency_slo,
+                self._latency_hist,
+                initial=initial,
+                min_batch=self.config.min_batch,
+                max_batch=initial,
+                interval=self.config.adapt_interval,
+                min_samples=self.config.adapt_min_samples,
+                clock=self.clock,
+            )
+            self._max_batch = self._controller.current
+        if self._max_batch is not None:
+            self._max_batch_gauge.set(self._max_batch)
 
     # ------------------------------------------------------------------
     # stream lifecycle
@@ -201,11 +260,13 @@ class ShardedStreamServer:
             if total > 0 and shard.deadline is None:
                 shard.deadline = now + self.config.max_delay
             if (
-                self.config.max_batch is not None
-                and total >= self.config.max_batch
+                self._max_batch is not None
+                and total >= self._max_batch
             ):
                 shard.batch_flushes += 1
+                shard.batch_flush_counter.inc()
                 self._flush_shard(shard, now)
+        self._adapt(now)
 
     def poll(self, now: float | None = None) -> dict:
         """Flush every shard whose deadline passed; drain emissions.
@@ -222,6 +283,7 @@ class ShardedStreamServer:
             if s.deadline is not None and s.deadline <= now
         ]
         self._flush_shards(due, now)
+        self._adapt(now)
         return self.drain()
 
     def flush_all(self) -> dict:
@@ -265,22 +327,39 @@ class ShardedStreamServer:
         emitted = shard.server.flush()
         shard.deadline = None
         shard.flushes += 1
+        shard.flush_counter.inc()
         if not emitted:
             return
-        latencies = []
+        n_emitted = 0
         for sid, ems in emitted.items():
             ready = shard.ready_since.get(sid)
+            n_emitted += len(ems)
             for _ in ems:
                 if ready:
-                    latencies.append(now - ready.popleft())
+                    self._latency_hist.observe(now - ready.popleft())
+        shard.emission_counter.inc(n_emitted)
         with self._out_lock:
             for sid, ems in emitted.items():
                 self._out.setdefault(sid, []).extend(ems)
-            self._latencies.extend(latencies)
+
+    def _adapt(self, now: float) -> None:
+        """One (rate-limited) SLO decision; applies a resize if any."""
+        if self._controller is None:
+            return
+        new = self._controller.update(now)
+        if new != self._max_batch:
+            self._max_batch = new
+            self._max_batch_gauge.set(new)
 
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
+    @property
+    def max_batch(self) -> int | None:
+        """The *effective* size trigger (adaptation may have resized
+        it within ``[config.min_batch, config.max_batch]``)."""
+        return self._max_batch
+
     def latency_stats(self) -> dict:
         """Percentiles of recorded emission queueing latencies (sec).
 
@@ -288,21 +367,32 @@ class ShardedStreamServer:
         ``lag``-th successor arrived) to the flush that emitted it —
         the quantity ``max_delay`` bounds, excluding solve time only
         insofar as the flush timestamp is taken when the flush starts.
+
+        A thin view over the bounded registry reservoir: ``count`` is
+        exact over the server's lifetime, the percentiles cover the
+        most recent ``window`` emissions (``retained`` of them so
+        far).  The schema is stable — every value is always a number,
+        zeros when nothing was recorded yet (never ``None``).
         """
-        with self._out_lock:
-            lat = list(self._latencies)
-        if not lat:
-            return {"count": 0, "p50": None, "p99": None, "max": None}
-        arr = np.asarray(lat)
+        snap = self._latency_hist.snapshot()
         return {
-            "count": int(arr.size),
-            "p50": float(np.percentile(arr, 50)),
-            "p99": float(np.percentile(arr, 99)),
-            "max": float(arr.max()),
+            "count": int(snap["count"]),
+            "window": int(snap["window"]),
+            "retained": int(snap["retained"]),
+            "p50": snap["p50"],
+            "p99": snap["p99"],
+            "max": snap["max"],
         }
 
     def stats(self) -> dict:
-        """Aggregate serving counters across shards."""
+        """Aggregate serving counters across shards.
+
+        A thin view over the registry instruments plus per-shard
+        state.  ``adaptive`` is the controller's counters when a
+        ``latency_slo`` is configured and ``None`` for the lifetime of
+        a static server (the schema never changes across calls on one
+        instance).
+        """
         per_shard = []
         streams = 0
         for shard in self._shards:
@@ -320,8 +410,14 @@ class ShardedStreamServer:
         return {
             "streams": streams,
             "shards": self.config.shards,
+            "max_batch": self._max_batch,
             "per_shard": per_shard,
             "latency": self.latency_stats(),
+            "adaptive": (
+                self._controller.stats()
+                if self._controller is not None
+                else None
+            ),
         }
 
 

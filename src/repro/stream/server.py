@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..api import EstimatorConfig, call_smoother_many, coerce_smoother
 from ..batch import BatchSmoother
 from ..errors import ReorderBufferFullError, UnobservableStateError
@@ -121,6 +122,11 @@ class StreamServer:
         the buffered ones and the newcomer; drops are counted in
         :meth:`stats` (``per_stream[...]["evicted"]``) and the
         producer is expected to resend them.
+    registry:
+        The :class:`~repro.obs.MetricsRegistry` receiving the server's
+        instruments (reorder-buffer occupancy/evictions/rejections,
+        flush and emission counters, the flush-solve span).  Defaults
+        to the process-wide :func:`repro.obs.get_registry`.
 
     Notes
     -----
@@ -140,6 +146,7 @@ class StreamServer:
         dtype=None,
         max_buffered: int | None = None,
         overflow: str = "reject",
+        registry: obs.MetricsRegistry | None = None,
     ):
         if lag < 1:
             raise ValueError(f"lag must be >= 1, got {lag}")
@@ -165,6 +172,23 @@ class StreamServer:
         self._backend = backend
         self._dtype = dtype
         self._streams: dict[object, _StreamState] = {}
+        # Registry instruments (bound at construction; servers sharing
+        # one registry aggregate into the same series).
+        registry = registry if registry is not None else obs.get_registry()
+        self._registry = registry
+        self._m_occupancy = registry.histogram(
+            "repro_stream_reorder_buffered"
+        )
+        self._m_rejections = registry.counter(
+            "repro_stream_reorder_rejections_total"
+        )
+        self._m_evictions = registry.counter(
+            "repro_stream_reorder_evictions_total"
+        )
+        self._m_flushes = registry.counter("repro_stream_flushes_total")
+        self._m_emissions = registry.counter(
+            "repro_stream_emissions_total"
+        )
         # Fail at construction, not on the first flush: the server
         # forwards compute_covariance into every window solve, so a
         # smoother that cannot honor it must be rejected up front.
@@ -267,6 +291,7 @@ class StreamServer:
             and len(state.buffered) >= self.max_buffered
         ):
             if self.overflow == "reject":
+                self._m_rejections.inc()
                 raise ReorderBufferFullError(
                     f"stream {stream_id!r} already buffers "
                     f"{len(state.buffered)} out-of-order steps "
@@ -279,11 +304,17 @@ class StreamServer:
             # is dropped and counted, to be resent by the producer.
             victim = max(max(state.buffered), step.seq)
             state.evicted += 1
+            self._m_evictions.inc()
             if victim == step.seq:
                 return
             del state.buffered[victim]
         state.buffered[step.seq] = step
         self._drain(stream_id, state)
+        # Occupancy is sampled only when the reorder buffer is actually
+        # holding out-of-order arrivals — the in-order fast path stays
+        # one length check.
+        if state.buffered:
+            self._m_occupancy.observe(len(state.buffered))
 
     def _drain(self, stream_id, state: _StreamState) -> None:
         while state.next_seq in state.buffered:
@@ -361,20 +392,22 @@ class StreamServer:
             if state.smoother.pending_emissions() > 0
         ]
         failures: list[tuple[object, Exception]] = []
+        self._m_flushes.inc()
         if due:
             problems = [
                 state.smoother.window_problem() for _, state in due
             ]
             try:
-                results = call_smoother_many(
-                    self._smoother,
-                    problems,
-                    config=EstimatorConfig(
-                        backend=self._backend,
-                        compute_covariance=self.compute_covariance,
-                        dtype=self._dtype,
-                    ),
-                )
+                with self._registry.span("repro_stream_flush_solve"):
+                    results = call_smoother_many(
+                        self._smoother,
+                        problems,
+                        config=EstimatorConfig(
+                            backend=self._backend,
+                            compute_covariance=self.compute_covariance,
+                            dtype=self._dtype,
+                        ),
+                    )
             except np.linalg.LinAlgError:
                 results = None
             if results is not None:
@@ -400,11 +433,15 @@ class StreamServer:
                 f"delivered by the next flush ({detail})"
             )
         out: dict[object, list[Emission]] = {}
+        delivered = 0
         for sid, state in self._streams.items():
             emitted = state.smoother.emissions()
             if emitted:
                 state.emitted += len(emitted)
+                delivered += len(emitted)
                 out[sid] = emitted
+        if delivered:
+            self._m_emissions.inc(delivered)
         return out
 
     def estimate(self, stream_id) -> tuple[np.ndarray, np.ndarray]:

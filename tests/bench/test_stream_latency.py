@@ -4,6 +4,7 @@ import json
 
 from repro.bench.harness import results_dir
 from repro.bench.stream_latency import main, stream_latency
+from repro.obs import parse_prometheus
 
 
 class TestStreamLatency:
@@ -23,14 +24,25 @@ class TestStreamLatency:
         assert record["steps_per_sec"] > 0
         lat = record["latency_ms"]
         assert lat["count"] > 0
+        assert lat["retained"] <= lat["window"]
         assert 0 <= lat["p50"] <= lat["p99"] <= lat["max"]
         assert record["flushes"]["total"] > 0
+        # The default SLO enables adaptation; its effective batch size
+        # never exceeds the configured ceiling.
+        assert record["adaptive"] is not None
+        assert record["effective_max_batch"] <= 16
         path = results_dir() / "_test_stream_latency.json"
         assert path.exists()
         persisted = json.loads(path.read_text())
         assert persisted["config"]["shards"] == 3
         assert persisted["config"]["workers"] == 2
         path.unlink()
+        prom = results_dir() / "_test_stream_latency.prom"
+        assert prom.exists()
+        series = parse_prometheus(prom.read_text())
+        assert "repro_serving_emission_latency_seconds" in series
+        assert "repro_plan_cache_hits_total" in series
+        prom.unlink()
 
     def test_main_quick_mode(self, capsys):
         main(["--quick", "--streams", "16"])
@@ -42,3 +54,4 @@ class TestStreamLatency:
         persisted = json.loads(quick.read_text())
         assert persisted["steps_per_sec"] > 0
         quick.unlink()
+        (results_dir() / "stream_latency_quick.prom").unlink()

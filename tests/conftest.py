@@ -17,6 +17,21 @@ settings.register_profile(
 settings.load_profile("repro")
 
 
+@pytest.fixture(autouse=True)
+def _fresh_metrics_registry():
+    """Isolate the process-wide obs registry per test.
+
+    Instrumented code (plan cache, servers, backends) reports into
+    :func:`repro.obs.get_registry`; without isolation, counters and
+    latency reservoirs would accumulate across tests and order-dependent
+    assertions would flake.
+    """
+    from repro import obs
+
+    with obs.use_registry(obs.MetricsRegistry()):
+        yield
+
+
 @pytest.fixture
 def rng():
     return np.random.default_rng(12345)

@@ -1,0 +1,100 @@
+"""Exporter round-trips: JSON snapshots and Prometheus text format."""
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    parse_prometheus,
+    to_json,
+    to_prometheus,
+)
+
+
+def populated_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("repro_hits_total", shard="0").inc(3)
+    reg.counter("repro_hits_total", shard="1").inc(4)
+    reg.gauge("repro_pool_workers").set(8)
+    h = reg.histogram("repro_latency_seconds", window=64)
+    for v in (0.001, 0.002, 0.010):
+        h.observe(v)
+    return reg
+
+
+class TestToJson:
+    def test_shape_and_values(self):
+        snap = to_json(populated_registry())
+        assert snap["counters"]['repro_hits_total{shard="0"}'] == 3.0
+        assert snap["counters"]['repro_hits_total{shard="1"}'] == 4.0
+        assert snap["gauges"]["repro_pool_workers"] == 8.0
+        hist = snap["histograms"]["repro_latency_seconds"]
+        assert hist["count"] == 3
+        assert hist["sum"] == pytest.approx(0.013)
+        assert hist["p99"] <= hist["max"] == pytest.approx(0.010)
+
+    def test_registry_snapshot_method_matches(self):
+        reg = populated_registry()
+        assert reg.snapshot() == to_json(reg)
+
+    def test_json_serializable(self):
+        import json
+
+        json.dumps(to_json(populated_registry()))
+
+
+class TestToPrometheus:
+    def test_type_lines_and_series(self):
+        text = to_prometheus(populated_registry())
+        assert "# TYPE repro_hits_total counter" in text
+        assert "# TYPE repro_pool_workers gauge" in text
+        assert "# TYPE repro_latency_seconds summary" in text
+        # One TYPE line per name even with several label sets.
+        assert text.count("# TYPE repro_hits_total") == 1
+        assert 'repro_hits_total{shard="0"} 3' in text
+        assert 'repro_latency_seconds{quantile="0.99"}' in text
+        assert "repro_latency_seconds_count 3" in text
+
+    def test_empty_registry_exports_empty(self):
+        assert to_prometheus(MetricsRegistry()) == ""
+
+    def test_label_escaping_round_trips(self):
+        reg = MetricsRegistry()
+        reg.counter("c", path='we"ird\\label').inc()
+        series = parse_prometheus(to_prometheus(reg))
+        assert series["c"][0]["labels"]["path"] == 'we"ird\\label'
+
+
+class TestParsePrometheus:
+    def test_round_trip(self):
+        reg = populated_registry()
+        series = parse_prometheus(to_prometheus(reg))
+        hits = {
+            s["labels"]["shard"]: s["value"]
+            for s in series["repro_hits_total"]
+        }
+        assert hits == {"0": 3.0, "1": 4.0}
+        assert series["repro_pool_workers"][0]["value"] == 8.0
+        quantiles = {
+            s["labels"]["quantile"]
+            for s in series["repro_latency_seconds"]
+        }
+        assert quantiles == {"0.5", "0.9", "0.99"}
+        assert series["repro_latency_seconds_count"][0]["value"] == 3.0
+
+    def test_skips_comments_and_blanks(self):
+        text = "# HELP x whatever\n\n# TYPE x counter\nx 1\n"
+        assert parse_prometheus(text)["x"][0]["value"] == 1.0
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "not a metric line at all",
+            "name{unterminated 1",
+            "name 1 trailing",
+            "name notanumber",
+            'name{k="v" garbage} 1',
+        ],
+    )
+    def test_malformed_lines_raise(self, bad):
+        with pytest.raises(ValueError):
+            parse_prometheus(bad)

@@ -152,11 +152,40 @@ class TestDeadlineFlush:
         server.poll()
         stats = server.latency_stats()
         assert stats["count"] == 4
+        assert stats["retained"] == 4
         assert stats["max"] == pytest.approx(0.010)
         assert stats["p50"] == pytest.approx(0.010)
         # The late arrival waited only 3 ms.
-        lat = sorted(server._latencies)
+        lat = sorted(server._latency_hist.samples())
         assert lat[0] == pytest.approx(0.003)
+
+    def test_latency_stats_schema_is_stable_when_empty(self):
+        """Satellite: no ``None``-vs-float mixing across calls — every
+        field is numeric before the first emission and after it."""
+        server, clock = self.make()
+        empty = server.latency_stats()
+        assert empty == {
+            "count": 0,
+            "window": 4096,
+            "retained": 0,
+            "p50": 0.0,
+            "p99": 0.0,
+            "max": 0.0,
+        }
+        problems = make_streams(1, 10)
+        open_all(server, problems)
+        (sid, p) = next(iter(problems.items()))
+        for t in range(4):
+            submit_step(server, sid, p, t)
+        clock.advance(0.010)
+        server.poll()
+        full = server.latency_stats()
+        assert set(full) == set(empty)
+        assert all(
+            isinstance(v, (int, float)) and v is not None
+            for v in full.values()
+        )
+        assert full["count"] == 2
 
 
 class TestBatchFlush:

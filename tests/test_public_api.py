@@ -49,7 +49,12 @@ EXPECTED_ALL = [
     "selinv_bidiagonal",
     "selinv_oddeven",
     "solve_window",
+    # observability
+    "MetricsRegistry",
+    "NullRegistry",
+    "obs",
     # streaming
+    "AdaptiveBatchController",
     "AsyncStreamServer",
     "Emission",
     "FixedLagSmoother",
