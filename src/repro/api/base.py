@@ -77,6 +77,12 @@ class Capabilities:
         Solves by iterated linearization and accepts
         :class:`~repro.model.nonlinear.NonlinearProblem` inputs
         natively (linear problems are lifted automatically).
+    ``supports_array_module``
+        Honors a non-numpy ``EstimatorConfig(array_module=...)``
+        selection by running its stacked kernels on that backend
+        (batched smoothers, associative scans).  Engines without the
+        flag reject non-numpy selections instead of silently solving
+        on the host.
     """
 
     needs_prior: bool = False
@@ -85,6 +91,7 @@ class Capabilities:
     batched: bool = False
     means_only: bool = False
     iterative: bool = False
+    supports_array_module: bool = False
 
     def admits(self, problem: Any) -> str | None:
         """Why ``problem`` falls outside this envelope (``None`` = fits).
@@ -314,6 +321,18 @@ class SmootherBase(abc.ABC):
                 "recursion/scan carries the covariances intrinsically "
                 "(paper §5.4) — use a QR-family smoother for the NC variant"
             )
+        ab = resolved.array_module
+        if (
+            ab is not None
+            and getattr(ab, "name", "numpy") != "numpy"
+            and not caps.supports_array_module
+        ):
+            raise ValueError(
+                f"smoother {self.name!r} does not support non-numpy array "
+                f"backends (requested {ab.name!r}, capability "
+                "supports_array_module=False); array_module= is honored "
+                "by the batched smoothers and the associative smoother"
+            )
         if (
             problem is not None
             and caps.needs_prior
@@ -385,6 +404,13 @@ def _legacy_forward(
             kwargs["pad"] = config.pad
         elif config.pad is False:
             refused.append("pad=False")
+    if config.array_module is not None:
+        from ..linalg.xp import get_backend
+
+        if get_backend(config.array_module).name != "numpy":
+            # No legacy engine predates numpy-only execution; a foreign
+            # backend request cannot be forwarded, only refused.
+            refused.append(f"array_module={config.array_module!r}")
     if refused:
         raise ValueError(
             f"legacy smoother {getattr(func, '__qualname__', func)!r} "

@@ -64,6 +64,18 @@ class EstimatorConfig:
         across ``smooth_many`` calls.  Unset means the process-wide
         :func:`~repro.batch.plan.default_plan_cache`; pass ``False``
         to disable plan caching for this call.
+    array_module:
+        Array backend the stacked kernels run on: a backend name
+        (``"numpy"``, ``"torch"``, ``"jax"``, ``"cupy"``, or the
+        test-oriented ``"mirror"``), an imported module object
+        (``array_module=torch``), or a resolved
+        :class:`~repro.linalg.xp.ArrayBackend`.  numpy is always
+        available and is the correctness oracle; the others are
+        optional dependencies discovered lazily — selecting one that
+        is not installed raises a descriptive ``ImportError`` at
+        :meth:`resolve` time.  Unset means numpy.  Supported by the
+        batched smoothers and the associative smoother; other engines
+        reject a non-numpy selection.
     """
 
     backend: Backend | None = None
@@ -71,6 +83,7 @@ class EstimatorConfig:
     dtype: Any = None
     pad: bool | None = None
     plan_cache: Any = None
+    array_module: Any = None
 
     @property
     def solve_dtype(self) -> Any:
@@ -149,6 +162,8 @@ class EstimatorConfig:
             plan_cache = default_plan_cache()
         else:
             plan_cache = merged.plan_cache
+        from ..linalg.xp import get_backend
+
         return EstimatorConfig(
             backend=(
                 merged.backend if merged.backend is not None else SerialBackend()
@@ -161,6 +176,7 @@ class EstimatorConfig:
             dtype=merged.dtype,
             pad=True if merged.pad is None else merged.pad,
             plan_cache=plan_cache,
+            array_module=get_backend(merged.array_module),
         )
 
 

@@ -185,7 +185,12 @@ def register_builtin_smoothers(registry: SmootherRegistry) -> None:
     registry.register(
         "associative",
         _lazy("repro.kalman.associative", "AssociativeSmoother"),
-        capabilities=_CONVENTIONAL,
+        capabilities=Capabilities(
+            needs_prior=True,
+            supports_nc=False,
+            supports_rectangular_obs=False,
+            supports_array_module=True,
+        ),
         summary="Sarkka-Garcia-Fernandez parallel associative scans",
     )
     registry.register(
@@ -205,7 +210,9 @@ def register_builtin_smoothers(registry: SmootherRegistry) -> None:
     registry.register(
         "batch-odd-even",
         _lazy("repro.batch.smoother", "BatchSmoother", method="odd-even"),
-        capabilities=Capabilities(batched=True),
+        capabilities=Capabilities(
+            batched=True, supports_array_module=True
+        ),
         summary="stacked odd-even QR elimination over bucketed workloads",
     )
     registry.register(
@@ -216,6 +223,7 @@ def register_builtin_smoothers(registry: SmootherRegistry) -> None:
             supports_nc=False,
             supports_rectangular_obs=False,
             batched=True,
+            supports_array_module=True,
         ),
         summary="stacked associative scans over bucketed workloads",
     )

@@ -16,11 +16,13 @@ from __future__ import annotations
 import numpy as np
 
 from ..kalman.associative import (
+    _to_backend_standard,
     combine_filtering,
     combine_smoothing,
     make_filtering_element,
     make_smoothing_element,
 )
+from ..linalg.xp import to_host
 from ..kalman.standard_form import StandardStep, to_standard_form
 from ..model.problem import StateSpaceProblem
 from ..parallel.backend import Backend, SerialBackend
@@ -80,16 +82,23 @@ def batched_associative_smooth(
     problems: list[StateSpaceProblem],
     backend: Backend | None = None,
     parallel: bool = True,
+    array_backend=None,
 ) -> tuple[list[np.ndarray], list[np.ndarray]]:
     """Smooth a stack of sequences with two batched associative scans.
 
     Returns ``(means, covariances)`` where entry ``i`` is the ``(B,
     n)`` / ``(B, n, n)`` stack for state ``i`` — the same layout the
-    batched odd-even path produces.
+    batched odd-even path produces.  With a non-numpy
+    ``array_backend`` the stacked standard form moves to the backend
+    once, both scans run in its namespace, and the smoothed moments
+    come back as host arrays.
     """
     if backend is None:
         backend = SerialBackend()
     m0, p0, steps = stack_standard_form(problems)
+    foreign = array_backend is not None and array_backend.name != "numpy"
+    if foreign:
+        m0, p0, steps = _to_backend_standard(array_backend, m0, p0, steps)
     k = len(steps) - 1
 
     elements = backend.map(
@@ -124,4 +133,9 @@ def batched_associative_smooth(
         reverse=True,
         phase="batch/associative/smooth-scan",
     )
+    if foreign:
+        return (
+            [np.asarray(to_host(s.g), dtype=np.float64) for s in smoothed],
+            [np.asarray(to_host(s.ell), dtype=np.float64) for s in smoothed],
+        )
     return [s.g for s in smoothed], [s.ell for s in smoothed]

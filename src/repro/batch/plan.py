@@ -68,6 +68,7 @@ def workload_key(
     problems: list[StateSpaceProblem],
     pad: bool = True,
     exact_obs: bool = False,
+    backend: str = "numpy",
 ) -> tuple:
     """Hashable structure fingerprint of a ``smooth_many`` workload.
 
@@ -75,13 +76,16 @@ def workload_key(
     workload key: the exact per-step shapes of every problem *in
     order* (observation rows included — stacked fill regions depend on
     them), plus the ``pad``/``exact_obs`` options that steer
-    bucketing.  Two workloads with equal keys make identical
-    structure decisions end to end, which is what licenses replaying
-    a cached :class:`SmoothPlan` without re-validation.
+    bucketing and the array ``backend`` the plan's workspaces live on
+    (a plan compiled for torch tensors must not be replayed by a
+    numpy call, and vice versa).  Two workloads with equal keys make
+    identical structure decisions end to end, which is what licenses
+    replaying a cached :class:`SmoothPlan` without re-validation.
     """
     return (
         bool(pad),
         bool(exact_obs),
+        str(backend),
         tuple(
             structure_signature(p, obs_rows=True) for p in problems
         ),
@@ -207,6 +211,7 @@ def build_plan(
     problems: list[StateSpaceProblem],
     pad: bool = True,
     exact_obs: bool = False,
+    array_backend=None,
 ) -> SmoothPlan:
     """Run the structure pipeline once and record it as a plan.
 
@@ -214,13 +219,31 @@ def build_plan(
     un-planned path makes), compiles each odd-even bucket's layout
     from its padded members, and discards the padded problem objects
     — replays never construct them again.
+
+    ``array_backend`` (a resolved
+    :class:`~repro.linalg.xp.ArrayBackend`, or ``None`` for numpy)
+    selects where the compiled workspaces live.  Immutable backends
+    get no layout at all — their buckets replay through the
+    physically-padded stacking path and are converted after stacking.
     """
     problems = list(problems)
-    key = workload_key(problems, pad=pad, exact_obs=exact_obs)
+    backend_name = (
+        "numpy" if array_backend is None else array_backend.name
+    )
+    key = workload_key(
+        problems, pad=pad, exact_obs=exact_obs, backend=backend_name
+    )
     buckets = bucket_problems(problems, pad=pad, exact_obs=exact_obs)
+    no_layout = exact_obs or (
+        backend_name != "numpy" and not array_backend.mutable
+    )
     plans = []
     for bucket in buckets:
-        layout = None if exact_obs else build_bucket_layout(bucket)
+        layout = (
+            None
+            if no_layout
+            else build_bucket_layout(bucket, array_backend=array_backend)
+        )
         plans.append(
             BucketPlan(
                 indices=list(bucket.indices),

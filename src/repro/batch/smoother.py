@@ -55,6 +55,7 @@ from ..core.selinv import selinv_oddeven
 from ..core.solve import oddeven_back_substitute, oddeven_rt_solve
 from ..kalman.result import SmootherResult
 from ..linalg.triangular import instrumented_matvec, mat_transpose
+from ..linalg.xp import get_namespace, to_host
 from ..model.problem import (
     StateSpaceProblem,
     WhitenedProblem,
@@ -72,16 +73,44 @@ def _cast_white(white: WhitenedProblem, dtype) -> WhitenedProblem:
     """Copy of a whitened problem with every block cast to ``dtype``."""
     steps = []
     for ws in white.steps:
+        xp = get_namespace(ws.C)
         step = WhitenedStep(
             index=ws.index,
             n=ws.n,
-            C=ws.C.astype(dtype),
-            rhs_C=ws.rhs_C.astype(dtype),
+            C=xp.astype(ws.C, dtype),
+            rhs_C=xp.astype(ws.rhs_C, dtype),
         )
         if ws.B is not None:
-            step.B = ws.B.astype(dtype)
-            step.D = ws.D.astype(dtype)
-            step.rhs_BD = ws.rhs_BD.astype(dtype)
+            step.B = xp.astype(ws.B, dtype)
+            step.D = xp.astype(ws.D, dtype)
+            step.rhs_BD = xp.astype(ws.rhs_BD, dtype)
+        steps.append(step)
+    return WhitenedProblem(steps=steps)
+
+
+def _white_to_backend(
+    white: WhitenedProblem, array_backend
+) -> WhitenedProblem:
+    """Move a host-stacked whitened problem onto an array backend.
+
+    Used when stacking happened in numpy (no compiled layout: plan
+    caching disabled, or an immutable backend that cannot host
+    writable workspaces) but the factorization should run on the
+    selected backend.
+    """
+    conv = array_backend.from_numpy
+    steps = []
+    for ws in white.steps:
+        step = WhitenedStep(
+            index=ws.index,
+            n=ws.n,
+            C=conv(ws.C),
+            rhs_C=conv(ws.rhs_C),
+        )
+        if ws.B is not None:
+            step.B = conv(ws.B)
+            step.D = conv(ws.D)
+            step.rhs_BD = conv(ws.rhs_BD)
         steps.append(step)
     return WhitenedProblem(steps=steps)
 
@@ -132,7 +161,11 @@ def _refine(
     recomputed at the refined solution (the float32 factor's
     accumulated residual is not accurate enough to report).
     """
-    x = [np.asarray(m, dtype=np.float64) for m in means]
+    xp = get_namespace(white.steps[0].C)
+    if xp is np:
+        x = [np.asarray(m, dtype=np.float64) for m in means]
+    else:
+        x = [xp.astype(xp.asarray(m), np.float64) for m in means]
     k = len(white.steps)
     for _ in range(max(steps, 0)):
         s_obs, s_evo = _residuals(white, x)
@@ -153,10 +186,12 @@ def _refine(
         d = oddeven_back_substitute(factor, backend, rhs=y)
         x = [x[i] + d[i] for i in range(k)]
     s_obs, s_evo = _residuals(white, x)
-    residual = sum(np.sum(s * s, axis=-1) for s in s_obs)
+    residual = sum(xp.sum(s * s, axis=-1) for s in s_obs)
     residual = residual + sum(
-        np.sum(s * s, axis=-1) for s in s_evo if s is not None
+        xp.sum(s * s, axis=-1) for s in s_evo if s is not None
     )
+    if getattr(residual, "ndim", 0) >= 1:
+        return x, residual
     return x, np.atleast_1d(residual)
 
 
@@ -248,13 +283,14 @@ class BatchSmoother(SmootherBase):
         #: diagnostics of the most recent ``smooth_many`` call
         self.last_diagnostics: dict | None = None
         self.capabilities = (
-            Capabilities(batched=True)
+            Capabilities(batched=True, supports_array_module=True)
             if method == "odd-even"
             else Capabilities(
                 needs_prior=True,
                 supports_nc=False,
                 supports_rectangular_obs=False,
                 batched=True,
+                supports_array_module=True,
             )
         )
 
@@ -301,9 +337,12 @@ class BatchSmoother(SmootherBase):
             "selinv": 0.0,
             "scan": 0.0,
         }
+        ab = getattr(config, "array_module", None)
+        backend_name = getattr(ab, "name", "numpy") if ab is not None else "numpy"
         diag: dict = {
             "workload": len(problems),
             "plan_cache": {"enabled": False, "hit": None},
+            "array_backend": backend_name,
             "phases": phases,
         }
         self.last_diagnostics = diag
@@ -320,11 +359,19 @@ class BatchSmoother(SmootherBase):
         t0 = time.perf_counter()
         plan = None
         if cache is not None:
-            key = workload_key(problems, pad=config.pad, exact_obs=exact)
+            key = workload_key(
+                problems,
+                pad=config.pad,
+                exact_obs=exact,
+                backend=backend_name,
+            )
             plan, hit = cache.get_or_build(
                 key,
                 lambda: build_plan(
-                    problems, pad=config.pad, exact_obs=exact
+                    problems,
+                    pad=config.pad,
+                    exact_obs=exact,
+                    array_backend=ab,
                 ),
             )
             phases["plan"] += time.perf_counter() - t0
@@ -397,10 +444,13 @@ class BatchSmoother(SmootherBase):
         registry = obs.get_registry()
         if not registry.enabled:
             return
+        backend_name = diag.get("array_backend", "numpy")
         for phase, seconds in diag["phases"].items():
             if seconds > 0.0:
                 registry.histogram(
-                    "repro_batch_phase_seconds", phase=phase
+                    "repro_batch_phase_seconds",
+                    phase=phase,
+                    backend=backend_name,
                 ).observe(seconds)
         registry.counter("repro_batch_smooth_many_total").inc()
         registry.counter("repro_batch_sequences_total").inc(
@@ -429,11 +479,18 @@ class BatchSmoother(SmootherBase):
     ) -> list[SmootherResult]:
         backend = config.backend
         want_cov = config.compute_covariance
+        ab = getattr(config, "array_module", None)
+        foreign = ab is not None and getattr(ab, "name", "numpy") != "numpy"
         mixed = config.solve_dtype is not None and (
             np.dtype(config.solve_dtype) == np.float32
         )
         t0 = time.perf_counter()
         white = stack_whitened(members, layout=layout)
+        if foreign and layout is None:
+            # No compiled device workspaces (plan caching disabled, or
+            # an immutable backend): stacking ran on host, so move the
+            # whitened blocks to the backend before the factorization.
+            white = _white_to_backend(white, ab)
         phases["stack"] += time.perf_counter() - t0
         white_solve = _cast_white(white, np.float32) if mixed else white
         try:
@@ -443,7 +500,7 @@ class BatchSmoother(SmootherBase):
             t0 = time.perf_counter()
             means = oddeven_back_substitute(factor, backend)
             phases["solve"] += time.perf_counter() - t0
-            residual = np.atleast_1d(factor.residual_sq)
+            residual = np.atleast_1d(to_host(factor.residual_sq))
             if mixed:
                 t0 = time.perf_counter()
                 means, residual = _refine(
@@ -486,6 +543,14 @@ class BatchSmoother(SmootherBase):
             ) from exc
         algorithm = "batch-odd-even" + ("" if want_cov else "-nc")
         depth = factor.depth()
+        if foreign:
+            # Results cross back to host exactly once, here: the
+            # per-sequence SmootherResult API stays plain numpy no
+            # matter where the kernels ran.
+            means = [to_host(m) for m in means]
+            if covs is not None:
+                covs = [to_host(c) for c in covs]
+            residual = np.atleast_1d(to_host(residual))
         out = []
         for b, n_states in enumerate(n_orig):
             out.append(
@@ -518,6 +583,9 @@ class BatchSmoother(SmootherBase):
                             self.refine_steps if mixed else 0
                         ),
                         "planned": layout is not None,
+                        "array_backend": (
+                            ab.name if foreign else "numpy"
+                        ),
                     },
                 )
             )
@@ -531,9 +599,11 @@ class BatchSmoother(SmootherBase):
         config: EstimatorConfig,
         phases: dict,
     ) -> list[SmootherResult]:
+        ab = getattr(config, "array_module", None)
+        foreign = ab is not None and getattr(ab, "name", "numpy") != "numpy"
         t0 = time.perf_counter()
         means, covs = batched_associative_smooth(
-            members, config.backend
+            members, config.backend, array_backend=ab
         )
         phases["scan"] += time.perf_counter() - t0
         out = []
@@ -547,6 +617,9 @@ class BatchSmoother(SmootherBase):
                     diagnostics={
                         "batch": len(members),
                         "padded_states": target - n_states,
+                        "array_backend": (
+                            ab.name if foreign else "numpy"
+                        ),
                     },
                 )
             )

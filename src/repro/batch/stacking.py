@@ -33,6 +33,7 @@ import numpy as np
 from scipy.linalg import block_diag
 
 from ..linalg.cholesky import Whitener, stack_whiten, stack_whiten_prepared
+from ..linalg.xp import get_namespace
 from ..model.problem import (
     StateSpaceProblem,
     WhitenedProblem,
@@ -278,6 +279,10 @@ class BucketLayout:
     #: per-step (rows, rows) identity templates used for the reset
     obs_eye: list["np.ndarray | None"]
     evo_eye: list["np.ndarray | None"]
+    #: namespace the workspaces live on (``np`` unless the layout was
+    #: compiled for a non-numpy array backend — see
+    #: :func:`build_bucket_layout`)
+    xp: object = np
 
     def nbytes(self) -> int:
         """Total workspace footprint (diagnostics)."""
@@ -306,7 +311,10 @@ class BucketLayout:
         """
 
         def _copy(bufs):
-            return [b.copy() if b is not None else None for b in bufs]
+            return [
+                get_namespace(b).copy(b) if b is not None else None
+                for b in bufs
+            ]
 
         return BucketLayout(
             batch=self.batch,
@@ -321,10 +329,13 @@ class BucketLayout:
             evo_factors=_copy(self.evo_factors),
             obs_eye=self.obs_eye,
             evo_eye=self.evo_eye,
+            xp=self.xp,
         )
 
 
-def build_bucket_layout(bucket: Bucket) -> BucketLayout:
+def build_bucket_layout(
+    bucket: Bucket, array_backend=None
+) -> BucketLayout:
     """Compile one :class:`Bucket` into a reusable :class:`BucketLayout`.
 
     Walks the bucket's (padded) problems exactly the way
@@ -333,6 +344,14 @@ def build_bucket_layout(bucket: Bucket) -> BucketLayout:
     steps (``i >= n_states_orig[b]``) are prefilled here, from the
     padded problems' actual blocks, so stack time touches only real
     data.  The bucket's problem objects are not retained.
+
+    With a non-numpy ``array_backend`` (an
+    :class:`~repro.linalg.xp.ArrayBackend` with ``mutable=True``),
+    the compiled workspaces are moved to that backend once at build
+    time, so plan replays stack and whiten directly on the selected
+    backend's arrays.  Immutable backends cannot host writable
+    workspaces; :func:`~repro.batch.plan.build_plan` plans around them
+    by skipping layout compilation entirely.
     """
     problems = bucket.problems
     batch = bucket.batch
@@ -405,6 +424,28 @@ def build_bucket_layout(bucket: Bucket) -> BucketLayout:
             pad_evo_w.append(None)
             evo_eye.append(None)
             evo_factors.append(None)
+    xp = np
+    if array_backend is not None and array_backend.name != "numpy":
+        if not array_backend.mutable:
+            raise ValueError(
+                f"array backend {array_backend.name!r} is immutable and "
+                "cannot host writable plan workspaces; build the plan "
+                "without a layout instead"
+            )
+        xp = array_backend.xp
+
+        def _dev(bufs):
+            return [
+                array_backend.from_numpy(b) if b is not None else None
+                for b in bufs
+            ]
+
+        obs_buffers = _dev(obs_buffers)
+        evo_buffers = _dev(evo_buffers)
+        obs_factors = _dev(obs_factors)
+        evo_factors = _dev(evo_factors)
+        obs_eye = _dev(obs_eye)
+        evo_eye = _dev(evo_eye)
     return BucketLayout(
         batch=batch,
         target=target,
@@ -418,6 +459,7 @@ def build_bucket_layout(bucket: Bucket) -> BucketLayout:
         evo_factors=evo_factors,
         obs_eye=obs_eye,
         evo_eye=evo_eye,
+        xp=xp,
     )
 
 
@@ -539,8 +581,12 @@ def _stack_with_layout(
             step = WhitenedStep(
                 index=i,
                 n=n,
-                C=np.zeros((layout.batch, 0, n)),
-                rhs_C=np.zeros((layout.batch, 0)),
+                C=layout.xp.zeros(
+                    (layout.batch, 0, n), dtype=np.float64
+                ),
+                rhs_C=layout.xp.zeros(
+                    (layout.batch, 0), dtype=np.float64
+                ),
             )
         if i > 0:
             raw_evo = layout.evo_buffers[i]

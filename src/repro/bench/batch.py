@@ -26,6 +26,12 @@ workload where per-call overhead matters most.  The hot path looks the
 registry up dynamically, so swapping in the null registry is exactly
 the "metrics disabled" configuration.
 
+A fourth benchmark, :func:`backend_throughput`, prices an array
+backend (:mod:`repro.linalg.xp`): warm plan-cached ``smooth_many``
+throughput with ``EstimatorConfig(array_module=NAME)`` versus the
+plain-numpy run on the same workload, per batch size.  Select it with
+``--backend NAME``; results land in ``results/backend_<name>.json``.
+
 Run as a module for the table + JSON artifact::
 
     PYTHONPATH=src python -m repro.bench.batch            # full sweep
@@ -33,9 +39,11 @@ Run as a module for the table + JSON artifact::
     PYTHONPATH=src python -m repro.bench.batch --plan     # plan cache
     PYTHONPATH=src python -m repro.bench.batch --plan-quick  # CI smoke
     PYTHONPATH=src python -m repro.bench.batch --obs      # obs overhead
+    PYTHONPATH=src python -m repro.bench.batch --backend torch --quick
 
 Results are persisted to ``results/batch_throughput.json``,
-``results/plan_cache.json``, and ``results/obs_overhead.json``.
+``results/plan_cache.json``, ``results/obs_overhead.json``, and
+``results/backend_<name>.json``.
 """
 
 from __future__ import annotations
@@ -51,6 +59,7 @@ from ..model.generators import random_problem
 from .harness import ascii_curve, format_series_table, median_time, save_results
 
 __all__ = [
+    "backend_throughput",
     "batch_throughput",
     "obs_overhead",
     "plan_cache_amortization",
@@ -195,6 +204,73 @@ def plan_cache_amortization(
     return record
 
 
+def backend_throughput(
+    backend: str,
+    batch_sizes=(16, 64),
+    k: int = 31,
+    n: int = 4,
+    repeats: int = 5,
+    compute_covariance: bool = True,
+    result_name: str | None = None,
+) -> dict:
+    """Warm plan-cached ``smooth_many`` on ``backend`` vs plain numpy.
+
+    Both sides replay a cached plan over the same workload, so the
+    measured delta is the backend itself: device workspaces, adapted
+    kernels, and the one host crossing at the result boundary.  The
+    ratio is informative on vectorized hardware and expected to be
+    *below* 1 for CPU builds of torch/jax on small blocks — the point
+    of recording it is the step function at large batch on real
+    accelerators (see ROADMAP).  Persists ``results/backend_<name>.json``.
+    """
+    from ..linalg.xp import get_backend
+
+    name = get_backend(backend).name  # resolve/validate up front
+    smoother = make_smoother(
+        "batch-odd-even", compute_covariance=compute_covariance
+    )
+    rows = []
+    for batch in batch_sizes:
+        problems = _workload(batch, k, n)
+        numpy_config = EstimatorConfig(plan_cache=PlanCache())
+        backend_config = EstimatorConfig(
+            array_module=name, plan_cache=PlanCache()
+        )
+
+        def numpy_call():
+            smoother.smooth_many(problems, config=numpy_config)
+
+        def backend_call():
+            smoother.smooth_many(problems, config=backend_config)
+
+        numpy_call()  # populate both plan caches before timing
+        backend_call()
+        t_numpy = median_time(numpy_call, repeats=repeats)
+        t_backend = median_time(backend_call, repeats=repeats)
+        rows.append(
+            {
+                "batch": batch,
+                "numpy_seconds": t_numpy,
+                "backend_seconds": t_backend,
+                "numpy_seq_per_sec": batch / t_numpy,
+                "backend_seq_per_sec": batch / t_backend,
+                "speedup_vs_numpy": t_numpy / t_backend,
+            }
+        )
+    record = {
+        "backend": name,
+        "workload": {
+            "k": k,
+            "n": n,
+            "repeats": repeats,
+            "compute_covariance": compute_covariance,
+        },
+        "rows": rows,
+    }
+    save_results(result_name or f"backend_{name}", record)
+    return record
+
+
 def obs_overhead(
     batch: int = 64,
     k: int = 7,
@@ -326,7 +402,33 @@ def main(argv: list[str] | None = None) -> None:
         action="store_true",
         help="instrumentation overhead: metrics on vs NullRegistry",
     )
+    parser.add_argument(
+        "--backend",
+        metavar="NAME",
+        help="array-backend throughput vs numpy "
+        "(results/backend_<name>.json); combine with --quick",
+    )
     args = parser.parse_args(argv)
+    if args.backend:
+        if args.quick:
+            record = backend_throughput(
+                args.backend, batch_sizes=(8,), k=15, n=3, repeats=2
+            )
+        else:
+            record = backend_throughput(args.backend)
+        w = record["workload"]
+        print(
+            f"Backend throughput: {record['backend']} vs numpy "
+            f"(warm plan-cached, k={w['k']}, n={w['n']})"
+        )
+        for row in record["rows"]:
+            print(
+                f"  batch {row['batch']:4d}: "
+                f"numpy {row['numpy_seq_per_sec']:10.1f} seq/s, "
+                f"{record['backend']} {row['backend_seq_per_sec']:10.1f} "
+                f"seq/s ({row['speedup_vs_numpy']:.2f}x)"
+            )
+        return
     if args.obs:
         record = obs_overhead()
         w = record["workload"]

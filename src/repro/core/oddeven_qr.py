@@ -48,6 +48,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..linalg.householder import qr_factor
+from ..linalg.xp import get_namespace
 from ..model.problem import StateSpaceProblem, WhitenedProblem
 from ..parallel.backend import Backend, SerialBackend
 from .rfactor import OddEvenR, RBlockRow
@@ -57,7 +58,7 @@ __all__ = ["oddeven_factorize", "OddEvenLevelStats"]
 
 def _vcat(*blocks: np.ndarray) -> np.ndarray:
     """Stack row blocks along the row (second-to-last) axis."""
-    return np.concatenate(blocks, axis=-2)
+    return get_namespace(*blocks).concatenate(blocks, axis=-2)
 
 
 def _zeros_rows(template: np.ndarray, rows: int, cols: int) -> np.ndarray:
@@ -67,24 +68,24 @@ def _zeros_rows(template: np.ndarray, rows: int, cols: int) -> np.ndarray:
     concatenated into a float32 pivot would silently promote the whole
     elimination to double precision.
     """
-    return np.zeros(
-        template.shape[:-2] + (rows, cols), dtype=template.dtype
+    return get_namespace(template).zeros(
+        tuple(template.shape[:-2]) + (rows, cols), dtype=template.dtype
     )
 
 
 def _with_rhs(mat: np.ndarray, rhs: np.ndarray) -> np.ndarray:
     """Append the RHS as one extra column of ``mat``."""
-    return np.concatenate([mat, rhs[..., None]], axis=-1)
+    return get_namespace(mat, rhs).concatenate([mat, rhs[..., None]], axis=-1)
 
 
 def _cat_rhs(*parts: np.ndarray) -> np.ndarray:
     """Concatenate RHS pieces along their row (last) axis."""
-    return np.concatenate(parts, axis=-1)
+    return get_namespace(*parts).concatenate(parts, axis=-1)
 
 
 def _sumsq(x: np.ndarray):
     """Squared norm over the row axis: a float, or ``(B,)`` when batched."""
-    return np.sum(x * x, axis=-1)
+    return get_namespace(x).sum(x * x, axis=-1)
 
 
 @dataclass
@@ -107,11 +108,13 @@ class _EvoRows:
         n_right: int,
         batch_shape: tuple = (),
         dtype=np.float64,
+        xp=np,
     ) -> "_EvoRows":
+        batch_shape = tuple(batch_shape)
         return cls(
-            nb=np.zeros(batch_shape + (0, n_left), dtype=dtype),
-            d=np.zeros(batch_shape + (0, n_right), dtype=dtype),
-            rhs=np.zeros(batch_shape + (0,), dtype=dtype),
+            nb=xp.zeros(batch_shape + (0, n_left), dtype=dtype),
+            d=xp.zeros(batch_shape + (0, n_right), dtype=dtype),
+            rhs=xp.zeros(batch_shape + (0,), dtype=dtype),
         )
 
     @property
@@ -232,7 +235,7 @@ def _stage_b(
     rhs = _cat_rhs(evo_here.rhs, sa.rhs)
     qf = qr_factor(pivot)
     applied = qf.apply_qt(
-        _with_rhs(np.concatenate(pieces, axis=-1), rhs)
+        _with_rhs(get_namespace(*pieces).concatenate(pieces, axis=-1), rhs)
     )
     ncap = min(n, pivot.shape[-2])
     offdiag = [(left.orig, applied[..., :ncap, :n_left])]
@@ -415,6 +418,7 @@ def oddeven_factorize(
                     new_columns[t].n,
                     batch_shape,
                     dtype=new_columns[t].c.dtype,
+                    xp=get_namespace(new_columns[t].c),
                 )
             if t < len(new_columns):
                 new_evos.append(evo)

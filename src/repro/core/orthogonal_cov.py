@@ -54,7 +54,7 @@ def covariance_factors_orthogonal(
             "final diagonal block is rank deficient"
         )
     check_triangular_system(r_kk[:n_k], what=f"R[{k},{k}]")
-    out[k] = solve_upper(r_kk[:n_k], np.eye(n_k))
+    out[k] = solve_upper(r_kk[:n_k], np.eye(n_k, dtype=r_kk.dtype))
     for i in range(k - 1, -1, -1):
         r_ii = factor.diag[i]
         n = r_ii.shape[1]
@@ -67,7 +67,7 @@ def covariance_factors_orthogonal(
         coupled = instrumented_matmul(
             factor.offdiag[i][:n], out[i + 1]
         )
-        wide = np.hstack([np.eye(n), coupled])
+        wide = np.hstack([np.eye(n, dtype=coupled.dtype), coupled])
         # LQ of `wide` via QR of its transpose: wide = (Q R)^T = L Q^T.
         qf = QRFactor(wide.T)
         ell = qf.r_square().T  # n x n lower triangular

@@ -36,6 +36,7 @@ from ..linalg.triangular import (
     solve_upper,
     tri_inverse,
 )
+from ..linalg.xp import get_namespace
 from ..parallel.backend import Backend, SerialBackend
 from .rfactor import BidiagonalR, OddEvenR
 from .solve import square_diag
@@ -138,26 +139,29 @@ def selinv_oddeven(
         if not row.offdiag:
             return col, base, []
         i_cols = [c for c, _b in row.offdiag]
-        r_ji = np.concatenate(
+        xp = get_namespace(diag, base)
+        r_ji = xp.concatenate(
             [b[..., : row.n, :] for _c, b in row.offdiag], axis=-1
         )
         nj = solve_upper(diag, r_ji)
         # Assemble S_II from previously-computed deeper-level blocks.
+        # Built by concatenation (not setitem into a zeros workspace) so
+        # the same code serves immutable array backends; the values are
+        # identical either way.
         sizes = [factor.dims[c] for c in i_cols]
-        total = sum(sizes)
-        s_ii = np.zeros(row.batch_shape + (total, total), dtype=base.dtype)
         offs = np.concatenate([[0], np.cumsum(sizes)])
+        block_rows = []
         for a_idx, a in enumerate(i_cols):
-            for b_idx, b in enumerate(i_cols):
-                if a_idx == b_idx:
-                    blk = diag_s[a]
-                else:
-                    blk = get_cross(a, b)
-                s_ii[
-                    ...,
-                    offs[a_idx] : offs[a_idx + 1],
-                    offs[b_idx] : offs[b_idx + 1],
-                ] = blk
+            block_rows.append(
+                xp.concatenate(
+                    [
+                        diag_s[a] if a_idx == b_idx else get_cross(a, b)
+                        for b_idx, b in enumerate(i_cols)
+                    ],
+                    axis=-1,
+                )
+            )
+        s_ii = xp.concatenate(block_rows, axis=-2)
         s_ji = -instrumented_matmul(nj, s_ii)
         s_jj = base - instrumented_matmul(s_ji, _t(nj))
         crosses = []

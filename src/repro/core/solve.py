@@ -20,6 +20,7 @@ from ..linalg.triangular import (
     solve_upper,
     solve_upper_transpose,
 )
+from ..linalg.xp import get_namespace
 from ..parallel.backend import Backend, SerialBackend
 from .rfactor import OddEvenR, RBlockRow
 
@@ -74,9 +75,12 @@ def oddeven_back_substitute(
         row = factor.rows[col]
         diag = square_diag(row)
         if rhs is None:
-            b = row.rhs[..., : row.n].copy()
+            src = row.rhs
         else:
-            b = np.asarray(rhs[col])[..., : row.n].copy()
+            src = rhs[col]
+            if not hasattr(src, "ndim"):
+                src = np.asarray(src)
+        b = get_namespace(src).copy(src[..., : row.n])
         for other, block in row.offdiag:
             contribution = instrumented_matvec(
                 block[..., : row.n, :], states[other]
@@ -128,7 +132,12 @@ def oddeven_rt_solve(
     """
     if backend is None:
         backend = SerialBackend()
-    w: list[np.ndarray] = [np.asarray(x).copy() for x in rhs]
+    w: list[np.ndarray] = [
+        get_namespace(x).copy(x)
+        if hasattr(x, "ndim")
+        else np.asarray(x).copy()
+        for x in rhs
+    ]
     y: list[np.ndarray | None] = [None] * len(factor.dims)
 
     for level_idx, cols in enumerate(factor.levels):

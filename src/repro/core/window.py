@@ -64,8 +64,9 @@ def filtered_pair(
     if not 0 <= index <= problem.k:
         raise ValueError(f"index must be in [0, {problem.k}], got {index}")
     white = problem.subproblem(index).whiten()
-    carry = np.zeros((0, white.steps[0].n))
-    carry_rhs = np.zeros(0)
+    work_dtype = white.steps[0].C.dtype
+    carry = np.zeros((0, white.steps[0].n), dtype=work_dtype)
+    carry_rhs = np.zeros(0, dtype=work_dtype)
     for i, ws in enumerate(white.steps):
         n = ws.n
         # Observe/compress: fold this column's observation rows into
@@ -86,7 +87,10 @@ def filtered_pair(
         nxt = white.steps[i + 1]
         pivot = np.vstack([carry, -nxt.B])
         coupled = np.vstack(
-            [np.zeros((carry.shape[0], nxt.n)), nxt.D]
+            [
+                np.zeros((carry.shape[0], nxt.n), dtype=nxt.D.dtype),
+                nxt.D,
+            ]
         )
         rhs_col = np.concatenate([carry_rhs, nxt.rhs_BD])
         qf = QRFactor(pivot)

@@ -44,6 +44,7 @@ from ..linalg.triangular import (
     instrumented_solve,
     mat_transpose as _t,
 )
+from ..linalg.xp import get_namespace, to_host
 from ..model.problem import StateSpaceProblem
 from ..parallel.tally import add_cost
 from ..parallel.backend import Backend, SerialBackend
@@ -107,35 +108,40 @@ def make_filtering_element(
     n = step.n
     if first:
         assert m0 is not None and p0 is not None
-        bshape = m0.shape[:-1]
-        a = np.zeros(bshape + (n, n))
-        eta = np.zeros(bshape + (n,))
-        j = np.zeros(bshape + (n, n))
+        xp = get_namespace(m0, p0)
+        bshape = tuple(m0.shape[:-1])
+        # Zeros take the prior's dtype: defaulting to float64 here
+        # silently promoted float32 pipelines at the very first scan
+        # element.
+        a = xp.zeros(bshape + (n, n), dtype=p0.dtype)
+        eta = xp.zeros(bshape + (n,), dtype=m0.dtype)
+        j = xp.zeros(bshape + (n, n), dtype=p0.dtype)
         if not step.has_observation:
-            return FilteringElement(a, m0.copy(), p0.copy(), eta, j)
+            return FilteringElement(a, xp.copy(m0), xp.copy(p0), eta, j)
         g, o, r = step.G, step.o, step.R
         s = instrumented_matmul(instrumented_matmul(g, p0), _t(g)) + r
         gain = _t(instrumented_solve(s, instrumented_matmul(g, p0)))
         b = m0 + instrumented_matvec(gain, o - instrumented_matvec(g, m0))
-        ikg = np.eye(n) - instrumented_matmul(gain, g)
+        ikg = xp.eye(n, dtype=p0.dtype) - instrumented_matmul(gain, g)
         c = instrumented_matmul(ikg, p0)
         return FilteringElement(a, b, 0.5 * (c + _t(c)), eta, j)
 
     f, cvec, q = step.F, step.c, step.Q
+    xp = get_namespace(f, cvec, q)
     if not step.has_observation:
-        bshape = cvec.shape[:-1]
+        bshape = tuple(cvec.shape[:-1])
         return FilteringElement(
-            f.copy(),
-            cvec.copy(),
-            q.copy(),
-            np.zeros(bshape + (n,)),
-            np.zeros(bshape + (n, n)),
+            xp.copy(f),
+            xp.copy(cvec),
+            xp.copy(q),
+            xp.zeros(bshape + (n,), dtype=cvec.dtype),
+            xp.zeros(bshape + (n, n), dtype=q.dtype),
         )
     g, o, r = step.G, step.o, step.R
     s = instrumented_matmul(instrumented_matmul(g, q), _t(g)) + r
     # K = Q G^T S^{-1}  (solve on the right via the transpose).
     gain = _t(instrumented_solve(s, instrumented_matmul(g, q)))
-    ikg = np.eye(n) - instrumented_matmul(gain, g)
+    ikg = xp.eye(n, dtype=q.dtype) - instrumented_matmul(gain, g)
     a = instrumented_matmul(ikg, f)
     resid = o - instrumented_matvec(g, cvec)
     b = cvec + instrumented_matvec(gain, resid)
@@ -176,7 +182,7 @@ def combine_filtering(
     """Associative combination (``fi`` earlier in time than ``fj``)."""
     n = fi.n
     _element_traffic(n, matrices=3, vectors=2, batch=_batch_of(fi.b))
-    eye = np.eye(n)
+    eye = get_namespace(fi.c).eye(n, dtype=fi.c.dtype)
     # M = (I + C_i J_j)^{-1} applied from the right of A_j.
     m_inv = eye + instrumented_matmul(fi.c, fj.j)
     aj_m = _t(instrumented_solve(_t(m_inv), _t(fj.a)))
@@ -219,9 +225,12 @@ def make_smoothing_element(
     ``(0, m, P)``).
     """
     n = m_f.shape[-1]
+    xp = get_namespace(m_f, p_f)
     if next_step is None:
         return SmoothingElement(
-            np.zeros(m_f.shape[:-1] + (n, n)), m_f.copy(), p_f.copy()
+            xp.zeros(tuple(m_f.shape[:-1]) + (n, n), dtype=p_f.dtype),
+            xp.copy(m_f),
+            xp.copy(p_f),
         )
     f, cvec, q = next_step.F, next_step.c, next_step.Q
     fp = instrumented_matmul(f, p_f)
@@ -254,6 +263,30 @@ def combine_smoothing(
     return SmoothingElement(e, g, 0.5 * (ell + _t(ell)))
 
 
+def _to_backend_standard(ab, m0, p0, steps):
+    """Move standard-form inputs onto an array backend's device.
+
+    Element construction and the scans then run entirely in the
+    backend's namespace; the caller converts the scan outputs back to
+    host arrays at the result boundary.
+    """
+    conv = ab.from_numpy
+
+    def c(x):
+        return None if x is None else conv(np.asarray(x, dtype=np.float64))
+
+    converted = [
+        StandardStep(
+            n=s.n, F=c(s.F), c=c(s.c), Q=c(s.Q), G=c(s.G), o=c(s.o),
+            R=c(s.R),
+        )
+        for s in steps
+    ]
+    return conv(np.asarray(m0, dtype=np.float64)), conv(
+        np.asarray(p0, dtype=np.float64)
+    ), converted
+
+
 class AssociativeSmoother(SmootherBase):
     """Parallel-in-time smoother via associative scans (ref. [3]).
 
@@ -271,7 +304,10 @@ class AssociativeSmoother(SmootherBase):
 
     name = "associative"
     capabilities = Capabilities(
-        needs_prior=True, supports_nc=False, supports_rectangular_obs=False
+        needs_prior=True,
+        supports_nc=False,
+        supports_rectangular_obs=False,
+        supports_array_module=True,
     )
 
     def __init__(self, parallel: bool = True):
@@ -281,9 +317,13 @@ class AssociativeSmoother(SmootherBase):
         self, problem: StateSpaceProblem, config: EstimatorConfig
     ) -> SmootherResult:
         backend = config.backend
+        ab = getattr(config, "array_module", None)
+        foreign = ab is not None and ab.name != "numpy"
         m0, p0, steps = to_standard_form(
             problem, "the associative smoother"
         )
+        if foreign:
+            m0, p0, steps = _to_backend_standard(ab, m0, p0, steps)
         k = len(steps) - 1
 
         elements = backend.map(
@@ -321,6 +361,9 @@ class AssociativeSmoother(SmootherBase):
 
         means = [s.g for s in smoothed]
         covs = [s.ell for s in smoothed]
+        if foreign:
+            means = [to_host(m) for m in means]
+            covs = [to_host(c) for c in covs]
         want_cov = config.compute_covariance
         return SmootherResult(
             means=means,

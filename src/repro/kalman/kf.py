@@ -61,7 +61,7 @@ def kf_update(
     s = 0.5 * (s + s.T)
     gain = spd_solve(s, pg_t.T, what="innovation covariance").T
     m_new = m + instrumented_matmul(gain, innovation)
-    i_kg = np.eye(p.shape[0]) - instrumented_matmul(gain, g)
+    i_kg = np.eye(p.shape[0], dtype=p.dtype) - instrumented_matmul(gain, g)
     p_new = instrumented_matmul(
         instrumented_matmul(i_kg, p), i_kg.T
     ) + instrumented_matmul(instrumented_matmul(gain, step.R), gain.T)

@@ -57,9 +57,13 @@ def paige_saunders_factorize(
     diag: list[np.ndarray | None] = [None] * (k + 1)
     offdiag: list[np.ndarray | None] = [None] * max(k, 0)
     rhs: list[np.ndarray | None] = [None] * (k + 1)
+    # Empty carries adopt the whitened blocks' dtype: a float64-typed
+    # empty would promote every later vstack, freezing float32 stacks
+    # out of single precision.
+    work_dtype = steps[0].C.dtype
     state = {
-        "carry": np.zeros((0, steps[0].n)),
-        "carry_rhs": np.zeros(0),
+        "carry": np.zeros((0, steps[0].n), dtype=work_dtype),
+        "carry_rhs": np.zeros(0, dtype=work_dtype),
         "residual": 0.0,
     }
 
@@ -74,7 +78,9 @@ def paige_saunders_factorize(
         # UltimateKalman implementation the paper builds on.
         pieces = [p for p in (state["carry"], ws.C) if p.shape[0] > 0]
         compressed = (
-            np.vstack(pieces) if pieces else np.zeros((0, n))
+            np.vstack(pieces)
+            if pieces
+            else np.zeros((0, n), dtype=work_dtype)
         )
         rhs_comp = np.concatenate([state["carry_rhs"], ws.rhs_C])
         if compressed.shape[0] > n:
@@ -108,7 +114,10 @@ def paige_saunders_factorize(
         rhs_col = np.concatenate([rhs_comp, next_ws.rhs_BD])
         coupled = np.vstack(
             [
-                np.zeros((compressed.shape[0], next_ws.n)),
+                np.zeros(
+                    (compressed.shape[0], next_ws.n),
+                    dtype=next_ws.D.dtype,
+                ),
                 next_ws.D,
             ]
         )

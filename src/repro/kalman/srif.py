@@ -96,7 +96,7 @@ class SquareRootInformationFilter:
         d = tri_inverse(s_chol, lower=True)
         rhs_evo = np.linalg.solve(s_chol, c)
         pivot = np.vstack([self.r, nb])
-        coupled = np.vstack([np.zeros((n, n)), d])
+        coupled = np.vstack([np.zeros((n, n), dtype=d.dtype), d])
         rhs = np.concatenate([self.z, rhs_evo])
         qf = QRFactor(pivot)
         applied = qf.apply_qt(np.column_stack([coupled, rhs]))

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..linalg.triangular import instrumented_solve
+from ..linalg.triangular import as_working_dtype, instrumented_solve
 from ..model.problem import StateSpaceProblem
 
 __all__ = ["StandardStep", "to_standard_form"]
@@ -92,6 +92,8 @@ def to_standard_form(
             std.o = obs.o
             std.R = obs.L.covariance()
         out.append(std)
-    m0 = np.asarray(problem.prior.mean, dtype=float)
+    # as_working_dtype, not asarray(dtype=float): a float32 prior must
+    # not promote the whole standard-form pipeline to float64.
+    m0 = as_working_dtype(problem.prior.mean)
     p0 = problem.prior.cov_matrix()
     return m0, p0, out

@@ -149,9 +149,18 @@ class UltimateKalman:
         )
         nb = -b
         n_old = self.current_dimension_of(-2)
+        if self._carry.shape[0] == 0 and self._carry.dtype != nb.dtype:
+            # An empty float64 carry must not promote a float32 sweep.
+            self._carry = self._carry.astype(nb.dtype)
+            self._carry_rhs = self._carry_rhs.astype(nb.dtype)
         pivot = np.vstack([self._carry, nb])
         coupled = np.vstack(
-            [np.zeros((self._carry.shape[0], d.shape[1])), d]
+            [
+                np.zeros(
+                    (self._carry.shape[0], d.shape[1]), dtype=d.dtype
+                ),
+                d,
+            ]
         )
         rhs = np.concatenate([self._carry_rhs, rhs_evo])
         if pivot.shape[0] == 0:
@@ -186,7 +195,7 @@ class UltimateKalman:
             old = step.observation
             g = np.vstack([old.G, obs.G])
             ovec = np.concatenate([old.o, obs.o])
-            l_cov = np.zeros((g.shape[0], g.shape[0]))
+            l_cov = np.zeros((g.shape[0], g.shape[0]), dtype=g.dtype)
             l_cov[: old.rows, : old.rows] = old.L.covariance()
             l_cov[old.rows :, old.rows :] = obs.L.covariance()
             step.observation = Observation(G=g, o=ovec, L=l_cov)
@@ -241,6 +250,9 @@ class UltimateKalman:
     def _absorb(self, rows: np.ndarray, rhs: np.ndarray) -> None:
         """Fold rows over the newest state into the carried triangle."""
         n = self.current_dim
+        if self._carry.shape[0] == 0 and self._carry.dtype != rows.dtype:
+            self._carry = self._carry.astype(rows.dtype)
+            self._carry_rhs = self._carry_rhs.astype(rows.dtype)
         stacked = np.vstack([self._carry, rows])
         rhs_all = np.concatenate([self._carry_rhs, rhs])
         if stacked.shape[0] > n:

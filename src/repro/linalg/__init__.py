@@ -8,7 +8,7 @@ how the work-overhead tables and the machine simulation get their
 numbers.
 """
 
-from . import flops
+from . import flops, xp
 from .blocks import BlockLayout, BlockVector, block_rows
 from .cholesky import Whitener, spd_cholesky
 from .householder import (
@@ -26,9 +26,22 @@ from .triangular import (
     solve_upper_transpose,
     tri_inverse,
 )
+from .xp import (
+    ArrayBackend,
+    available_backends,
+    get_backend,
+    get_namespace,
+    to_host,
+)
 
 __all__ = [
     "flops",
+    "xp",
+    "ArrayBackend",
+    "available_backends",
+    "get_backend",
+    "get_namespace",
+    "to_host",
     "BlockLayout",
     "BlockVector",
     "block_rows",

@@ -22,6 +22,7 @@ from scipy.linalg import cho_factor, cholesky as _cholesky
 from ..parallel.tally import add_cost
 from .flops import cholesky_flops, trsm_bytes, trsm_flops
 from .triangular import as_working_dtype, solve_lower
+from .xp import get_namespace, to_host
 
 __all__ = [
     "spd_cholesky",
@@ -90,11 +91,11 @@ def spd_cholesky(a: np.ndarray, what: str = "covariance") -> np.ndarray:
     algorithms require nonsingular noise covariances (§2.2: the
     QR-based methods cannot handle singular ``K_i``/``L_i``).
     """
-    a = np.asarray(a, dtype=float)
+    a = as_working_dtype(a)
     if a.ndim != 2 or a.shape[0] != a.shape[1]:
         raise ValueError(f"{what} must be a square matrix, got {a.shape}")
     if a.shape[0] == 0:
-        return np.zeros((0, 0))
+        return np.zeros((0, 0), dtype=a.dtype)
     if not np.allclose(a, a.T, rtol=1e-10, atol=1e-12):
         raise np.linalg.LinAlgError(f"{what} must be symmetric")
     try:
@@ -194,15 +195,21 @@ class Whitener:
                 f"cannot whiten {rows} rows with a dimension-{self.dim} "
                 f"{self.what} whitener"
             )
+        xp = get_namespace(block)
         if self._factor is None:
             if self.kind == "identity" or self.scale == 1.0:
-                return block.copy()
+                return xp.copy(block)
             k = 1 if block.ndim == 1 else block.shape[1]
             add_cost(float(rows) * k, trsm_bytes(rows, k))
-            return block / block.dtype.type(self.scale)
-        return solve_lower(
-            self._factor.astype(block.dtype, copy=False), block
-        )
+            if xp is np:
+                return block / block.dtype.type(self.scale)
+            return block / self.scale
+        factor = self._factor
+        if xp is np:
+            factor = factor.astype(block.dtype, copy=False)
+        else:
+            factor = xp.astype(xp.asarray(factor), block.dtype, copy=False)
+        return solve_lower(factor, block)
 
     def covariance(self) -> np.ndarray:
         """Materialize the covariance this whitener corresponds to."""
@@ -259,23 +266,31 @@ def stack_whiten(
                 f"cannot whiten {rows} rows with a dimension-{w.dim} "
                 f"{w.what} whitener"
             )
+    xp = get_namespace(block_stack)
     if not whiteners or rows == 0 or block_stack.shape[2] == 0:
-        return block_stack.copy()
+        return xp.copy(block_stack)
     if all(w._factor is None for w in whiteners):
-        scales = np.array(
+        # Scale uniformity is decided on the host list; only the
+        # actual scaling touches the (possibly foreign) stack.
+        host_scales = np.array(
             [
                 w.scale if w.kind == "scaled_identity" else 1.0
                 for w in whiteners
             ],
-            dtype=block_stack.dtype,
+            dtype=np.float64,
         )
-        if np.all(scales == 1.0):
-            return block_stack.copy()
+        if np.all(host_scales == 1.0):
+            return xp.copy(block_stack)
         b, k = block_stack.shape[0], block_stack.shape[2]
         add_cost(float(b) * rows * k, b * trsm_bytes(rows, k))
+        scales = xp.astype(
+            xp.asarray(host_scales), block_stack.dtype, copy=False
+        )
         return block_stack / scales[:, None, None]
-    factors = np.stack([w.factor_matrix() for w in whiteners]).astype(
-        block_stack.dtype, copy=False
+    factors = xp.astype(
+        xp.asarray(np.stack([w.factor_matrix() for w in whiteners])),
+        block_stack.dtype,
+        copy=False,
     )
     return solve_lower(factors, block_stack)
 
@@ -298,20 +313,21 @@ def stack_whiten_prepared(
     ``scale`` would have produced.
     """
     block_stack = as_working_dtype(block_stack)
+    xp = get_namespace(block_stack, factors)
     rows = block_stack.shape[1]
     if (
         block_stack.shape[0] == 0
         or rows == 0
         or block_stack.shape[2] == 0
     ):
-        return block_stack.copy()
+        return xp.copy(block_stack)
     if factors is not None:
         return solve_lower(
-            factors.astype(block_stack.dtype, copy=False), block_stack
+            xp.astype(factors, block_stack.dtype, copy=False), block_stack
         )
-    scales = scales.astype(block_stack.dtype, copy=False)
-    if np.all(scales == 1.0):
-        return block_stack.copy()
+    scales = xp.astype(xp.asarray(scales), block_stack.dtype, copy=False)
+    if np.all(to_host(scales) == 1.0):
+        return xp.copy(block_stack)
     b, k = block_stack.shape[0], block_stack.shape[2]
     add_cost(float(b) * rows * k, b * trsm_bytes(rows, k))
     return block_stack / scales[:, None, None]

@@ -33,6 +33,7 @@ from scipy.linalg import get_lapack_funcs
 from ..parallel.tally import add_cost
 from .flops import qr_apply_flops, qr_bytes, qr_flops
 from .triangular import as_working_dtype
+from .xp import get_namespace
 
 __all__ = [
     "QRFactor",
@@ -209,20 +210,31 @@ class BatchedQRFactor:
 
     def __init__(self, a: np.ndarray, method: str = "auto"):
         a = as_working_dtype(a)
+        xp = get_namespace(a)
+        self._xp = xp
         if a.ndim != 3:
             raise ValueError(
                 f"expected a (B, m, n) stack, got array of ndim {a.ndim}"
             )
         if method not in ("auto", "stacked", "loop"):
             raise ValueError(f"unknown batched QR method {method!r}")
+        if method == "loop" and not isinstance(a, np.ndarray):
+            raise TypeError(
+                "method='loop' runs the per-slice LAPACK oracle and "
+                "requires numpy arrays; foreign array backends use the "
+                "stacked method"
+            )
         self.batch, self.m, self.n = a.shape
         self._nref = min(self.m, self.n)
         if self._nref == 0 or self.batch == 0:
             # Nothing to reduce in any slice: Q = I, R = a.
-            self._q = np.broadcast_to(
-                np.eye(self.m, dtype=a.dtype), (self.batch, self.m, self.m)
-            ).copy()
-            self._r = a.copy()
+            self._q = xp.copy(
+                xp.broadcast_to(
+                    xp.eye(self.m, dtype=a.dtype),
+                    (self.batch, self.m, self.m),
+                )
+            )
+            self._r = xp.copy(a)
         elif method == "loop":
             qs = np.empty((self.batch, self.m, self.m), dtype=a.dtype)
             rs = np.empty((self.batch, self.m, self.n), dtype=a.dtype)
@@ -244,7 +256,7 @@ class BatchedQRFactor:
             )
             return
         else:
-            self._q, self._r = np.linalg.qr(a, mode="complete")
+            self._q, self._r = xp.linalg.qr(a, mode="complete")
         add_cost(
             self.batch * qr_flops(self.m, self.n),
             self.batch * qr_bytes(self.m, self.n),
@@ -253,7 +265,7 @@ class BatchedQRFactor:
     @property
     def r(self) -> np.ndarray:
         """Stacked triangular factors, ``(B, min(m, n), n)``."""
-        return np.triu(self._r[:, : self._nref, :])
+        return self._xp.triu(self._r[:, : self._nref, :])
 
     def r_square(self) -> np.ndarray:
         """The leading ``(B, n, n)`` triangular factors; needs ``m >= n``."""
@@ -261,19 +273,20 @@ class BatchedQRFactor:
             raise np.linalg.LinAlgError(
                 f"QR of a {self.m}x{self.n} stack has no square R factor"
             )
-        return np.triu(self._r[:, : self.n, :])
+        return self._xp.triu(self._r[:, : self.n, :])
 
     def _apply(self, c: np.ndarray, trans: str) -> np.ndarray:
         c = as_working_dtype(c)
         vector = c.ndim == 2
         c2 = c[..., None] if vector else c
-        if c2.ndim != 3 or c2.shape[:2] != (self.batch, self.m):
+        if c2.ndim != 3 or tuple(c2.shape[:2]) != (self.batch, self.m):
             raise ValueError(
                 f"cannot apply Q^T from a ({self.batch}, {self.m}, "
                 f"{self.n}) batched QR to an array of shape {c.shape}"
             )
+        xp = self._xp
         q = self._q
-        out = np.matmul(q.swapaxes(-1, -2) if trans == "T" else q, c2)
+        out = xp.matmul(xp.swapaxes(q, -1, -2) if trans == "T" else q, c2)
         add_cost(
             self.batch
             * qr_apply_flops(self.m, self._nref, c2.shape[-1]),
@@ -291,7 +304,7 @@ class BatchedQRFactor:
 
     def q(self) -> np.ndarray:
         """The full ``(B, m, m)`` orthogonal factors (tests only)."""
-        return self._q.copy()
+        return self._xp.copy(self._q)
 
 
 def batched_qr(a: np.ndarray, method: str = "auto") -> BatchedQRFactor:

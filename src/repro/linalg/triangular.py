@@ -17,6 +17,7 @@ from scipy.linalg import solve_triangular as _solve_triangular
 
 from ..parallel.tally import add_cost
 from .flops import matmul_bytes, matmul_flops, trsm_bytes, trsm_flops
+from .xp import backend_of, get_namespace, to_host
 
 __all__ = [
     "as_working_dtype",
@@ -45,7 +46,15 @@ def as_working_dtype(a) -> np.ndarray:
     lists) to ``float64`` — so existing float64 callers see identical
     behavior while float32 pipelines stay in single precision end to
     end.
+
+    Arrays owned by a non-numpy backend (see :mod:`repro.linalg.xp`)
+    pass through untouched: coercing them through ``np.asarray`` would
+    silently pull them back to the host.
     """
+    if type(a) is not np.ndarray:
+        backend = backend_of(a)
+        if backend is not None and backend.name != "numpy":
+            return a
     a = np.asarray(a)
     if a.dtype == np.float32 or a.dtype == np.float64:
         return a
@@ -54,7 +63,7 @@ def as_working_dtype(a) -> np.ndarray:
 
 def mat_transpose(a: np.ndarray) -> np.ndarray:
     """Transpose the matrix axes only (the batch-safe ``.T``)."""
-    return np.swapaxes(a, -1, -2)
+    return get_namespace(a).swapaxes(a, -1, -2)
 
 
 def batch_count(shape: tuple) -> int:
@@ -76,7 +85,7 @@ def check_triangular_system(r: np.ndarray, what: str = "R") -> None:
             f"{what} must be square, got shape {r.shape}; the least-squares "
             "problem does not determine this state (rank deficiency)"
         )
-    d = np.abs(np.diagonal(r, axis1=-2, axis2=-1))
+    d = np.abs(np.diagonal(to_host(r), axis1=-2, axis2=-1))
     if d.size and (d.min() == 0.0 or not np.all(np.isfinite(d))):
         where = ""
         bad_slices: list = []
@@ -101,7 +110,10 @@ def check_triangular_system(r: np.ndarray, what: str = "R") -> None:
 
 def _solve(r: np.ndarray, b: np.ndarray, lower: bool, trans: int) -> np.ndarray:
     b = as_working_dtype(b)
-    if r.ndim > 2:
+    # Foreign-backend operands take the batched (general-solve) path
+    # even at 2-D: the scipy path below would silently round-trip them
+    # through the host via ``__array__``.
+    if r.ndim > 2 or get_namespace(r, b) is not np:
         return _solve_batched(r, b, trans)
     n = r.shape[0]
     if n == 0:
@@ -121,9 +133,10 @@ def _solve_batched(r: np.ndarray, b: np.ndarray, trans: int) -> np.ndarray:
     cost charged is still the per-slice ``trsm`` count times the batch,
     so recorded graphs replay like the per-sequence run.
     """
+    xp = get_namespace(r, b)
     n = r.shape[-1]
     if n == 0:
-        return b.copy()
+        return xp.copy(b)
     vector = b.ndim == r.ndim - 1
     b2 = b[..., None] if vector else b
     k = b2.shape[-1]
@@ -131,8 +144,8 @@ def _solve_batched(r: np.ndarray, b: np.ndarray, trans: int) -> np.ndarray:
         batch_count(r.shape[:-2]) * trsm_flops(n, k),
         batch_count(r.shape[:-2]) * trsm_bytes(n, k),
     )
-    a = np.swapaxes(r, -1, -2) if trans else r
-    out = np.linalg.solve(a, b2)
+    a = xp.swapaxes(r, -1, -2) if trans else r
+    out = xp.linalg.solve(a, b2)
     return out[..., 0] if vector else out
 
 
@@ -153,16 +166,17 @@ def solve_lower(l: np.ndarray, b: np.ndarray) -> np.ndarray:
 
 def tri_inverse(r: np.ndarray, lower: bool = False) -> np.ndarray:
     """Invert a triangular matrix (or stack) via solves against ``I``."""
+    xp = get_namespace(r)
     n = r.shape[-1]
     if n == 0:
-        return np.zeros(r.shape, dtype=r.dtype)
-    if r.ndim > 2:
+        return xp.zeros(tuple(r.shape), dtype=r.dtype)
+    if r.ndim > 2 or xp is not np:
         add_cost(
             batch_count(r.shape[:-2]) * trsm_flops(n, n),
             batch_count(r.shape[:-2]) * trsm_bytes(n, n),
         )
-        eye = np.eye(n, dtype=r.dtype)
-        return np.linalg.solve(r, np.broadcast_to(eye, r.shape))
+        eye = xp.eye(n, dtype=r.dtype)
+        return xp.linalg.solve(r, xp.broadcast_to(eye, tuple(r.shape)))
     add_cost(trsm_flops(n, n), trsm_bytes(n, n))
     return _solve_triangular(
         r, np.eye(n, dtype=r.dtype), lower=lower, trans=0, check_finite=False
@@ -189,9 +203,10 @@ def instrumented_solve(a: np.ndarray, b: np.ndarray) -> np.ndarray:
         batch * ((2.0 / 3.0) * n**3 + 2.0 * trsm_flops(n, k)),
         batch * trsm_bytes(n, k),
     )
+    xp = get_namespace(a, b)
     if vector:
-        return np.linalg.solve(a, b[..., None])[..., 0]
-    return np.linalg.solve(a, b)
+        return xp.linalg.solve(a, b[..., None])[..., 0]
+    return xp.linalg.solve(a, b)
 
 
 def instrumented_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
@@ -212,10 +227,10 @@ def instrumented_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     m, k = a.shape[-2], a.shape[-1]
     n = b.shape[-1]
     batch = batch_count(
-        np.broadcast_shapes(a.shape[:-2], b.shape[:-2])
+        np.broadcast_shapes(tuple(a.shape[:-2]), tuple(b.shape[:-2]))
     )
     add_cost(batch * matmul_flops(m, k, n), batch * matmul_bytes(m, k, n))
-    return np.matmul(a, b)
+    return get_namespace(a, b).matmul(a, b)
 
 
 def instrumented_matvec(a: np.ndarray, x: np.ndarray) -> np.ndarray:
@@ -232,7 +247,7 @@ def instrumented_matvec(a: np.ndarray, x: np.ndarray) -> np.ndarray:
         add_cost(matmul_flops(m, n, 1), matmul_bytes(m, n, 1))
         return a @ x
     batch = batch_count(
-        np.broadcast_shapes(a.shape[:-2], x.shape[:-1])
+        np.broadcast_shapes(tuple(a.shape[:-2]), tuple(x.shape[:-1]))
     )
     add_cost(batch * matmul_flops(m, n, 1), batch * matmul_bytes(m, n, 1))
-    return np.matmul(a, x[..., None])[..., 0]
+    return get_namespace(a, x).matmul(a, x[..., None])[..., 0]

@@ -113,12 +113,34 @@ def to_prometheus(registry: MetricsRegistry) -> str:
     return "\n".join(lines) + ("\n" if lines else "")
 
 
+# The labels group is quoted-string-aware, NOT ``[^}]*``: a ``}`` (or
+# ``,``, or a space) inside a quoted label value is legal in the text
+# format, so the line pattern must skip over quoted values instead of
+# stopping at the first closing brace.
 _METRIC_LINE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
-    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"(?:\{(?P<labels>"
+    r'(?:[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*",?)*'
+    r")\})?"
     r"\s+(?P<value>[^\s]+)$"
 )
 _LABEL_PAIR = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+_LABEL_ESCAPE = re.compile(r"\\(.)")
+#: text-format escapes (the exposition format defines exactly these)
+_UNESCAPES = {"\\": "\\", '"': '"', "n": "\n"}
+
+
+def _unescape_label(value: str) -> str:
+    """Single-pass unescape of a quoted label value.
+
+    Sequential ``str.replace`` calls corrupt adjacent escapes (an
+    escaped backslash followed by an escaped quote decodes wrongly
+    depending on replace order); one regex pass over ``\\X`` pairs is
+    order-independent and also handles ``\\n``.
+    """
+    return _LABEL_ESCAPE.sub(
+        lambda m: _UNESCAPES.get(m.group(1), "\\" + m.group(1)), value
+    )
 
 
 def parse_prometheus(text: str) -> dict[str, list[dict]]:
@@ -147,7 +169,7 @@ def parse_prometheus(text: str) -> dict[str, list[dict]]:
             ) from None
         label_text = match.group("labels") or ""
         labels = {
-            key: val.replace('\\"', '"').replace("\\\\", "\\")
+            key: _unescape_label(val)
             for key, val in _LABEL_PAIR.findall(label_text)
         }
         # Every k="v" pair must be consumed; leftovers mean bad syntax.

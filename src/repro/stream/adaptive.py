@@ -34,6 +34,7 @@ sleeping.
 
 from __future__ import annotations
 
+import math
 import time
 from typing import Callable
 
@@ -162,11 +163,28 @@ class AdaptiveBatchController:
         if now - self._last_t < self.interval:
             return self.current
         fresh = self.histogram.count - self._seen
+        if fresh < 0:
+            # The reservoir was swapped or reset (e.g. a fresh metrics
+            # registry behind the server): the sample ledger is
+            # meaningless.  Re-anchor on the new histogram and wait for
+            # fresh evidence — without this the controller wedges until
+            # the new count catches up to the stale ``_seen``.
+            self._last_t = now
+            self._seen = self.histogram.count
+            return self.current
         if fresh < self.min_samples:
             # Keep waiting for evidence; the interval clock is NOT
             # reset, so the decision fires as soon as samples arrive.
             return self.current
         p99 = self.histogram.quantile(0.99)
+        if not math.isfinite(p99) or not self.histogram.samples():
+            # An empty window reports p99 = 0.0 — evidence of nothing,
+            # and deciding on it would grow the trigger on silence; a
+            # NaN-poisoned window would hold but corrupt ``last_p99``
+            # (and any JSON stats dump).  Re-anchor, decide nothing.
+            self._last_t = now
+            self._seen = self.histogram.count
+            return self.current
         self._last_t = now
         self._seen = self.histogram.count
         self.decisions += 1

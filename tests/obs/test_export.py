@@ -63,6 +63,34 @@ class TestToPrometheus:
         series = parse_prometheus(to_prometheus(reg))
         assert series["c"][0]["labels"]["path"] == 'we"ird\\label'
 
+    @pytest.mark.parametrize(
+        "hostile",
+        [
+            'a\\b"c\nd',       # backslash + quote + newline together
+            "line1\nline2",    # bare newline
+            "\\n",             # literal backslash-n, NOT a newline
+            'ends with \\',    # trailing backslash
+            '\\"',             # backslash then quote adjacent
+            "has } brace, and=pair",  # } and , inside the value
+        ],
+    )
+    def test_hostile_label_values_round_trip(self, hostile):
+        """Escaping survives every exposition-format hazard.
+
+        The old parser stopped the labels group at the first ``}`` and
+        unescaped with ordered ``str.replace`` calls, so values holding
+        braces, newlines, or adjacent escapes came back corrupted.
+        """
+        reg = MetricsRegistry()
+        reg.counter("c", path=hostile).inc()
+        reg.gauge("g", path=hostile, other="plain").set(2)
+        series = parse_prometheus(to_prometheus(reg))
+        assert series["c"][0]["labels"]["path"] == hostile
+        assert series["g"][0]["labels"] == {
+            "path": hostile,
+            "other": "plain",
+        }
+
 
 class TestParsePrometheus:
     def test_round_trip(self):

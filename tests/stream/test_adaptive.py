@@ -172,6 +172,77 @@ class TestControllerRateLimiting:
         }
 
 
+class StubHistogram:
+    """Duck-typed reservoir for pathological states a real
+    :class:`~repro.obs.Histogram` cannot reach via its public API
+    (positive count with an empty ring; a NaN quantile)."""
+
+    def __init__(self, count=0, p99=0.0, retained=()):
+        self.count = count
+        self._p99 = p99
+        self._retained = list(retained)
+
+    def quantile(self, q):
+        return self._p99
+
+    def samples(self):
+        return list(self._retained)
+
+
+class TestReservoirSwapGuards:
+    def test_swap_reanchors_instead_of_wedging(self):
+        """A registry swap drops ``histogram.count`` below ``_seen``;
+        the controller must re-anchor and keep working, not stall
+        until the new count catches up to the stale ledger."""
+        ctl, hist, clock = make_controller()
+        feed(hist, 0.009, n=100)
+        decide(ctl, clock)  # healthy decision on the old reservoir
+        assert ctl.decisions == 1
+        new_hist = Histogram(window=256)
+        ctl.histogram = new_hist
+        # Negative fresh-sample count: a no-op, not a decision.
+        assert decide(ctl, clock) == 64
+        assert ctl.decisions == 1
+        # Re-anchored: evidence on the new reservoir drives decisions
+        # again immediately.
+        feed(new_hist, 0.050)
+        assert decide(ctl, clock) == 32
+        assert ctl.shrinks == 1
+
+    def test_empty_reservoir_p99_is_not_growth_evidence(self):
+        """An empty window reports p99 = 0.0; deciding on it would
+        grow the trigger on silence."""
+        ctl, hist, clock = make_controller(initial=16, max_batch=64)
+        ctl.histogram = StubHistogram(count=1000)
+        assert decide(ctl, clock) == 16
+        assert ctl.decisions == 0
+        assert ctl.grows == 0
+
+    def test_nan_p99_never_enters_stats(self):
+        ctl, hist, clock = make_controller()
+        ctl.histogram = StubHistogram(
+            count=1000, p99=float("nan"), retained=[0.05]
+        )
+        assert decide(ctl, clock) == 64
+        assert ctl.decisions == 0
+        assert ctl.last_p99 == 0.0  # stats() stays JSON-safe
+
+    def test_guards_do_not_change_stats_schema(self):
+        ctl, hist, clock = make_controller()
+        ctl.histogram = StubHistogram(count=1000)
+        decide(ctl, clock)
+        assert set(ctl.stats()) == {
+            "slo",
+            "current",
+            "min_batch",
+            "max_batch",
+            "decisions",
+            "grows",
+            "shrinks",
+            "last_p99",
+        }
+
+
 class TestControllerValidation:
     @pytest.mark.parametrize(
         "kwargs",
