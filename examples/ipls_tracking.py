@@ -1,0 +1,85 @@
+"""Iterated posterior-linearization smoothing of a bearings-only track.
+
+A vehicle drives through a tunnel instrumented with two bearing-only
+stations: each observation is an angle, so the measurement model is
+nonlinear and — far from the stations — weakly informative.  The IPLS
+smoother replaces point (Jacobian) linearization with sigma-point
+statistical linear regression around the *current smoothed posterior*,
+re-linearizing each outer iteration; where the Jacobian under-states
+the measurement information (e.g. the cubic sensor's vanishing slope
+at the origin), SLR keeps a useful slope from the density's spread.
+
+A fleet of tracks is then smoothed with ``smooth_many``: every outer
+iteration re-linearizes all tracks and solves ONE stacked linear
+problem on the batched odd-even kernels, so the iterated smoother
+batch-serves at fleet scale.
+
+Run:  python examples/ipls_tracking.py
+"""
+
+import numpy as np
+
+from repro.model import bearings_only_tunnel_problem
+from repro.nonlinear import (
+    IteratedPosteriorLinearizationSmoother,
+    extended_kalman_filter,
+)
+
+
+def position_rmse(estimates, truth) -> float:
+    err = np.vstack([m[:2] for m in estimates]) - truth[:, :2]
+    return float(np.sqrt(np.mean(np.sum(err**2, axis=1))))
+
+
+def main() -> None:
+    problem, truth = bearings_only_tunnel_problem(k=60, seed=0)
+    print(
+        f"tunnel: {problem.k + 1} steps, state [px, py, vx, vy], "
+        "2 bearing stations"
+    )
+
+    ekf_means = extended_kalman_filter(problem)
+    print(f"\nEKF (initializer)  pos RMSE: {position_rmse(ekf_means, truth):.4f}")
+
+    ipls = IteratedPosteriorLinearizationSmoother()
+    result = ipls.smooth(problem)
+    print(
+        f"IPLS               pos RMSE: "
+        f"{position_rmse(result.means, truth):.4f}  "
+        f"({result.diagnostics['iterations']} iterations, "
+        f"linearizer={result.diagnostics['linearizer']})"
+    )
+    assert position_rmse(result.means, truth) <= position_rmse(
+        ekf_means, truth
+    )
+
+    trace = result.diagnostics["trace"]
+    print("\nIPLS objective trace:")
+    for i, obj in enumerate(trace.objectives[:6]):
+        print(f"  iter {i + 1}: {obj:.4f}")
+
+    # Fleet smoothing: one stacked solve per outer iteration.
+    fleet = [
+        bearings_only_tunnel_problem(k=60, seed=s)[0] for s in range(16)
+    ]
+    results = ipls.smooth_many(fleet)
+    iters = [r.diagnostics["iterations"] for r in results]
+    print(
+        f"\nfleet of {len(fleet)}: iterations "
+        f"min={min(iters)} max={max(iters)} "
+        f"(stacked solves = max, not sum: each converged track drops "
+        "out of the next stacked iteration)"
+    )
+
+    # The batched fleet results are bit-identical to smoothing each
+    # track alone — smooth() drives the same batched engine with a
+    # workload of one.
+    solo = ipls.smooth(fleet[3])
+    assert all(
+        np.array_equal(a, b) for a, b in zip(results[3].means, solo.means)
+    )
+    print("fleet slice 3 is bit-identical to its solo smooth")
+
+
+if __name__ == "__main__":
+    main()

@@ -70,12 +70,16 @@ from .kalman import (
 from .model import (
     Evolution,
     GaussianPrior,
+    JacobianLinearizer,
     NonlinearProblem,
     Observation,
+    SigmaPointLinearizer,
     StateSpaceProblem,
     Step,
     as_nonlinear,
+    bearings_only_tunnel_problem,
     constant_velocity_problem,
+    cubic_sensor_problem,
     dense_covariance,
     dense_solve,
     pendulum_problem,
@@ -85,6 +89,7 @@ from .model import (
 )
 from .nonlinear import (
     GaussNewtonSmoother,
+    IteratedPosteriorLinearizationSmoother,
     LevenbergMarquardtSmoother,
     extended_kalman_filter,
 )
@@ -186,16 +191,21 @@ __all__ = [
     "UltimateKalman",
     "UltimateSmoother",
     "GaussNewtonSmoother",
+    "IteratedPosteriorLinearizationSmoother",
     "LevenbergMarquardtSmoother",
     "extended_kalman_filter",
     "Evolution",
     "GaussianPrior",
+    "JacobianLinearizer",
     "NonlinearProblem",
     "Observation",
+    "SigmaPointLinearizer",
     "StateSpaceProblem",
     "Step",
     "as_nonlinear",
+    "bearings_only_tunnel_problem",
     "constant_velocity_problem",
+    "cubic_sensor_problem",
     "dense_covariance",
     "dense_solve",
     "pendulum_problem",

@@ -243,6 +243,13 @@ def register_builtin_smoothers(registry: SmootherRegistry) -> None:
         capabilities=_NONLINEAR,
         summary="damped iterated nonlinear smoother, NC inner solves",
     )
+    registry.register(
+        "ipls",
+        _lazy("repro.nonlinear.ipls", "IteratedPosteriorLinearizationSmoother"),
+        capabilities=_NONLINEAR,
+        summary="iterated posterior-linearization (sigma-point) smoother "
+        "on the batched stacked kernels",
+    )
 
 
 _DEFAULT_REGISTRY = SmootherRegistry()

@@ -49,7 +49,7 @@ def whiten_packed(
     cols: list[np.ndarray] = []
     widths: list[int | None] = []
     for block in blocks:
-        block = np.asarray(block, dtype=float)
+        block = as_working_dtype(np.asarray(block))
         if block.ndim == 1:
             widths.append(None)
             cols.append(block[:, None])
@@ -145,11 +145,11 @@ class Whitener:
         self.kind = kind
         self.what = what
         if kind == "covariance":
-            cov = np.asarray(cov, dtype=float)
+            cov = as_working_dtype(np.asarray(cov))
             self.dim = cov.shape[0]
             self._factor = spd_cholesky(cov, what)
         elif kind == "factor":
-            factor = np.asarray(cov, dtype=float)
+            factor = as_working_dtype(np.asarray(cov))
             if factor.ndim != 2 or factor.shape[0] != factor.shape[1]:
                 raise ValueError("factor must be square")
             if np.any(np.diag(factor) <= 0):

@@ -11,11 +11,17 @@ from .generators import (
     tracking_2d_problem,
 )
 from .nonlinear import (
+    JacobianLinearizer,
+    LinearizedFn,
+    Linearizer,
     NonlinearFunction,
     NonlinearProblem,
     NonlinearStep,
+    SigmaPointLinearizer,
     as_nonlinear,
+    bearings_only_tunnel_problem,
     coordinated_turn_problem,
+    cubic_sensor_problem,
     pendulum_problem,
 )
 from .problem import StateSpaceProblem, WhitenedProblem, WhitenedStep
@@ -39,11 +45,17 @@ __all__ = [
     "random_orthonormal_problem",
     "random_problem",
     "tracking_2d_problem",
+    "JacobianLinearizer",
+    "LinearizedFn",
+    "Linearizer",
     "NonlinearFunction",
     "NonlinearProblem",
     "NonlinearStep",
+    "SigmaPointLinearizer",
     "as_nonlinear",
+    "bearings_only_tunnel_problem",
     "coordinated_turn_problem",
+    "cubic_sensor_problem",
     "pendulum_problem",
     "StateSpaceProblem",
     "WhitenedProblem",

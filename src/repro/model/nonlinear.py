@@ -1,30 +1,54 @@
-"""Nonlinear dynamic systems and their Gauss–Newton linearization.
+"""Nonlinear dynamic systems and their pluggable linearization layer.
 
 The paper reduces nonlinear Kalman smoothing to a sequence of linear
-smoothing problems (§2.2): each Gauss–Newton iteration replaces the
-nonlinear ``F_i``/``G_i`` by their Jacobians at the current iterate and
-adjusts the constant terms so the linear solution is the next iterate.
-This module holds the nonlinear model description, the linearization,
-and two classic benchmark systems (pendulum, coordinated turn).
+smoothing problems (§2.2): each iteration replaces the nonlinear
+``F_i``/``G_i`` by affine surrogates at the current iterate and adjusts
+the constant terms so the linear solution is the next iterate.  *How*
+the surrogate is produced is a policy, captured by the
+:class:`Linearizer` protocol:
+
+* :class:`JacobianLinearizer` — first-order Taylor expansion at a
+  point (the classic extended/iterated Kalman smoother linearization,
+  refactored out of the old ``NonlinearProblem.linearize`` body);
+* :class:`SigmaPointLinearizer` — statistical linear regression (SLR)
+  against a Gaussian density: unscented/cubature sigma points of
+  ``N(mean, cov)`` are propagated through the function and moment
+  matching yields the best affine fit ``F x + c`` *plus* the
+  regression-residual covariance ``Omega`` that inflates the step's
+  noise (Yaghoobi, Corenflos, Hassan & Särkkä, "Parallel Iterated
+  Extended and Sigma-point Kalman Smoothers").  This is what the
+  iterated posterior-linearization smoother
+  (:class:`~repro.nonlinear.ipls.IteratedPosteriorLinearizationSmoother`)
+  re-linearizes with around the current smoothed marginals.
+
+This module holds the nonlinear model description, the linearization
+layer, and four benchmark systems (pendulum, coordinated turn,
+bearings-only tunnel, cubic sensor).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Protocol, runtime_checkable
 
 import numpy as np
 
 from .problem import StateSpaceProblem
-from .steps import Evolution, GaussianPrior, Observation, Step
+from .steps import Evolution, GaussianPrior, Observation, Step, _as_cov_whitener
 
 __all__ = [
     "NonlinearFunction",
     "NonlinearStep",
     "NonlinearProblem",
+    "Linearizer",
+    "LinearizedFn",
+    "JacobianLinearizer",
+    "SigmaPointLinearizer",
     "as_nonlinear",
     "pendulum_problem",
     "coordinated_turn_problem",
+    "bearings_only_tunnel_problem",
+    "cubic_sensor_problem",
 ]
 
 
@@ -55,6 +79,199 @@ class NonlinearFunction:
             dx[j] = self.fd_step
             jac[:, j] = (self(x + dx) - self(x - dx)) / (2 * self.fd_step)
         return jac
+
+
+@dataclass(frozen=True)
+class LinearizedFn:
+    """An affine surrogate ``y ~ F x + c`` for a nonlinear function.
+
+    ``omega`` is the covariance of the regression residual
+    ``y - F x - c`` under the linearization density (``None`` for
+    point linearizations, which carry no residual model).  Iterated
+    smoothers add it to the step's noise covariance, which is what
+    makes posterior-linearization iterations well posed away from the
+    Gauss–Newton fixed point.
+    """
+
+    F: np.ndarray
+    c: np.ndarray
+    omega: np.ndarray | None = None
+
+
+@runtime_checkable
+class Linearizer(Protocol):
+    """Policy producing affine surrogates of :class:`NonlinearFunction`.
+
+    ``linearize(fn, mean, cov)`` returns a :class:`LinearizedFn` valid
+    around ``mean`` (point methods) or against the Gaussian density
+    ``N(mean, cov)`` (statistical methods).  ``needs_covariance``
+    advertises whether ``cov`` is required — callers without marginal
+    covariances (plain Gauss–Newton) check it up front instead of
+    failing mid-sweep.
+    """
+
+    name: str
+    needs_covariance: bool
+
+    def linearize(
+        self,
+        fn: NonlinearFunction,
+        mean: np.ndarray,
+        cov: np.ndarray | None = None,
+    ) -> LinearizedFn: ...
+
+
+@dataclass(frozen=True)
+class JacobianLinearizer:
+    """First-order Taylor expansion at a point (EKF/Gauss–Newton).
+
+    ``F = fn'(mean)``, ``c = fn(mean) - F mean``, no residual
+    covariance — exactly the linearization the iterated smoothers have
+    always used, now behind the :class:`Linearizer` protocol.
+    """
+
+    name = "jacobian"
+    needs_covariance = False
+
+    def linearize(
+        self,
+        fn: NonlinearFunction,
+        mean: np.ndarray,
+        cov: np.ndarray | None = None,
+    ) -> LinearizedFn:
+        mean = np.asarray(mean, dtype=float)
+        f = fn.jac(mean)
+        return LinearizedFn(F=f, c=fn(mean) - f @ mean, omega=None)
+
+
+@dataclass(frozen=True)
+class SigmaPointLinearizer:
+    """Statistical linear regression through unscented sigma points.
+
+    Propagates the ``2n + 1`` scaled sigma points of ``N(mean, cov)``
+    through ``fn`` and moment-matches the best affine fit: with
+    ``P_xy = sum_j w_j (x_j - mean)(y_j - ybar)^T``,
+
+    ``F = P_xy^T P_xx^{-1}``, ``c = ybar - F mean``,
+    ``omega = P_yy - F P_xy``  (the SLR residual covariance, PSD).
+
+    The defaults ``alpha=1, beta=0, kappa=0`` reproduce the spherical
+    cubature rule (zero center weight); any valid ``alpha/beta/kappa``
+    recovers ``F, c`` exactly on affine functions with ``omega = 0``,
+    which is why IPLS collapses to the linear solution on linear
+    problems.
+    """
+
+    alpha: float = 1.0
+    beta: float = 0.0
+    kappa: float = 0.0
+
+    name = "sigma-point"
+    needs_covariance = True
+
+    def weights(self, n: int) -> tuple[float, np.ndarray, np.ndarray]:
+        """Scaling ``lambda`` plus mean/covariance weight vectors."""
+        lam = self.alpha**2 * (n + self.kappa) - n
+        if not np.isfinite(lam) or n + lam <= 0:
+            raise ValueError(
+                f"sigma-point scaling n + lambda must be positive; got "
+                f"alpha={self.alpha}, kappa={self.kappa} for dimension {n}"
+            )
+        w_mean = np.full(2 * n + 1, 1.0 / (2.0 * (n + lam)))
+        w_mean[0] = lam / (n + lam)
+        w_cov = w_mean.copy()
+        w_cov[0] += 1.0 - self.alpha**2 + self.beta
+        return lam, w_mean, w_cov
+
+    def sigma_points(self, mean: np.ndarray, cov: np.ndarray) -> np.ndarray:
+        """The ``(2n + 1, n)`` scaled sigma points of ``N(mean, cov)``."""
+        mean = np.asarray(mean, dtype=float)
+        n = mean.shape[0]
+        lam, _, _ = self.weights(n)
+        scaled = (n + lam) * _symmetrize(np.asarray(cov, dtype=float))
+        root = _psd_sqrt(scaled)
+        points = np.empty((2 * n + 1, n))
+        points[0] = mean
+        points[1 : n + 1] = mean + root.T
+        points[n + 1 :] = mean - root.T
+        return points
+
+    def linearize(
+        self,
+        fn: NonlinearFunction,
+        mean: np.ndarray,
+        cov: np.ndarray | None = None,
+    ) -> LinearizedFn:
+        if cov is None:
+            raise ValueError(
+                "sigma-point linearization regresses against a density "
+                "N(mean, cov): pass the marginal covariances (IPLS "
+                "threads the current smoothed covariances here)"
+            )
+        mean = np.asarray(mean, dtype=float)
+        n = mean.shape[0]
+        _, w_mean, w_cov = self.weights(n)
+        points = self.sigma_points(mean, cov)
+        ys = np.stack([fn(p) for p in points])
+        ybar = w_mean @ ys
+        dx = points - mean
+        dy = ys - ybar
+        # Regress against the sigma-point-reconstructed P_xx (the
+        # center point drops out: dx_0 = 0), so F is exactly the
+        # least-squares fit on the propagated points and omega is PSD
+        # up to roundoff regardless of the cov's conditioning.
+        p_xx = (dx * w_cov[:, None]).T @ dx
+        p_xy = (dx * w_cov[:, None]).T @ dy
+        p_yy = (dy * w_cov[:, None]).T @ dy
+        try:
+            f = np.linalg.solve(_symmetrize(p_xx), p_xy).T
+        except np.linalg.LinAlgError:
+            f = np.linalg.lstsq(p_xx, p_xy, rcond=None)[0].T
+        omega = _psd_clip(p_yy - f @ p_xy)
+        return LinearizedFn(F=f, c=ybar - f @ mean, omega=omega)
+
+
+def _symmetrize(a: np.ndarray) -> np.ndarray:
+    return 0.5 * (a + a.T)
+
+
+def _psd_sqrt(a: np.ndarray) -> np.ndarray:
+    """A square root ``S`` with ``S S^T = a`` (lower Cholesky when PD,
+    eigenvalue-clipped symmetric root otherwise)."""
+    try:
+        return np.linalg.cholesky(a)
+    except np.linalg.LinAlgError:
+        vals, vecs = np.linalg.eigh(a)
+        return vecs * np.sqrt(np.clip(vals, 0.0, None))
+
+
+def _psd_clip(a: np.ndarray) -> np.ndarray:
+    """Project a nearly-PSD matrix onto the PSD cone (roundoff guard)."""
+    a = _symmetrize(a)
+    vals, vecs = np.linalg.eigh(a)
+    if vals.size == 0 or vals[0] >= 0.0:
+        return a
+    return _symmetrize((vecs * np.clip(vals, 0.0, None)) @ vecs.T)
+
+
+def _cast(a: np.ndarray, dtype) -> np.ndarray:
+    return np.asarray(a, dtype=float if dtype is None else dtype)
+
+
+def _linearized_noise(cov, rows: int, omega, dtype, what: str):
+    """The step noise for a linearized equation.
+
+    Point linearizations (``omega is None``) pass the model covariance
+    through untouched — scalar / ``Whitener`` / ``None`` forms
+    included — so the Jacobian path stays bit-identical to the legacy
+    behavior.  Statistical linearizations materialize it and add the
+    SLR residual covariance.  ``dtype`` casts any materialized matrix.
+    """
+    if omega is not None:
+        cov = _as_cov_whitener(cov, rows, what).covariance() + omega
+    if dtype is not None and isinstance(cov, np.ndarray):
+        cov = np.asarray(cov, dtype=dtype)
+    return cov
 
 
 @dataclass
@@ -99,37 +316,88 @@ class NonlinearProblem:
     def state_dims(self) -> list[int]:
         return [s.state_dim for s in self.steps]
 
-    def linearize(self, trajectory: list[np.ndarray]) -> StateSpaceProblem:
-        """Linear problem whose solution is the next Gauss–Newton iterate.
+    def linearize(
+        self,
+        trajectory: list[np.ndarray],
+        *,
+        linearizer: Linearizer | None = None,
+        covariances: list[np.ndarray] | None = None,
+        dtype: np.dtype | type | None = None,
+    ) -> StateSpaceProblem:
+        """Linear problem whose solution is the next iterate.
 
-        At the iterate ``u^0``, the evolution residual linearizes as
+        With the default :class:`JacobianLinearizer`, at the iterate
+        ``u^0`` the evolution residual linearizes as
         ``u_i - F'(u^0_{i-1}) u_{i-1} - c_i'`` with
         ``c_i' = c_i + F(u^0_{i-1}) - F'(u^0_{i-1}) u^0_{i-1}``, and the
         observation residual as ``o_i' - G'(u^0_i) u_i`` with
-        ``o_i' = o_i - G(u^0_i) + G'(u^0_i) u^0_i`` (paper §2.2, [16]).
+        ``o_i' = o_i - G(u^0_i) + G'(u^0_i) u^0_i`` (paper §2.2, [16])
+        — the classic Gauss–Newton step.
+
+        A statistical ``linearizer`` (:class:`SigmaPointLinearizer`)
+        instead regresses against ``N(u^0_i, covariances[i])`` and adds
+        its residual covariance ``omega`` to the step noise — the
+        posterior-linearization construction.  ``dtype`` casts the
+        materialized matrices to the working dtype
+        (``EstimatorConfig(dtype=...).solve_dtype``) so the
+        mixed-precision batched path is not silently defeated by
+        float64 inputs.
         """
         if len(trajectory) != len(self.steps):
             raise ValueError(
                 f"trajectory has {len(trajectory)} states, problem has "
                 f"{len(self.steps)}"
             )
+        lin = linearizer if linearizer is not None else JacobianLinearizer()
+        if covariances is not None and len(covariances) != len(self.steps):
+            raise ValueError(
+                f"got {len(covariances)} covariances for "
+                f"{len(self.steps)} steps"
+            )
+        if lin.needs_covariance and covariances is None:
+            raise ValueError(
+                f"the {lin.name!r} linearizer needs per-step marginal "
+                "covariances; pass covariances= (IPLS threads the "
+                "current smoothed covariances automatically)"
+            )
         out: list[Step] = []
         for i, s in enumerate(self.steps):
             u0 = np.asarray(trajectory[i], dtype=float)
+            cov_i = None if covariances is None else covariances[i]
             evo = None
             if i > 0 and s.evolution_fn is not None:
                 uprev = np.asarray(trajectory[i - 1], dtype=float)
-                f_jac = s.evolution_fn.jac(uprev)
+                cov_prev = None if covariances is None else covariances[i - 1]
+                lf = lin.linearize(s.evolution_fn, uprev, cov_prev)
                 c = s.c if s.c is not None else np.zeros(s.state_dim)
-                c_lin = c + s.evolution_fn(uprev) - f_jac @ uprev
-                evo = Evolution(F=f_jac, c=c_lin, K=s.evolution_cov)
+                evo = Evolution(
+                    F=_cast(lf.F, dtype),
+                    c=_cast(c + lf.c, dtype),
+                    K=_linearized_noise(
+                        s.evolution_cov, s.state_dim, lf.omega, dtype,
+                        "evolution covariance K",
+                    ),
+                )
             obs = None
             if s.observation_fn is not None and s.observation is not None:
-                g_jac = s.observation_fn.jac(u0)
-                o_lin = s.observation - s.observation_fn(u0) + g_jac @ u0
-                obs = Observation(G=g_jac, o=o_lin, L=s.observation_cov)
+                lf = lin.linearize(s.observation_fn, u0, cov_i)
+                o = np.asarray(s.observation, dtype=float)
+                obs = Observation(
+                    G=_cast(lf.F, dtype),
+                    o=_cast(o - lf.c, dtype),
+                    L=_linearized_noise(
+                        s.observation_cov, o.shape[0], lf.omega, dtype,
+                        "observation covariance L",
+                    ),
+                )
             out.append(Step(state_dim=s.state_dim, evolution=evo, observation=obs))
-        return StateSpaceProblem(out, prior=self.prior)
+        prior = self.prior
+        if dtype is not None and prior is not None:
+            prior = GaussianPrior(
+                mean=_cast(prior.mean, dtype),
+                cov=_cast(prior.cov_matrix(), dtype),
+            )
+        return StateSpaceProblem(out, prior=prior)
 
     def objective(self, trajectory: list[np.ndarray]) -> float:
         """The nonlinear generalized least-squares objective (paper eq. 4)."""
@@ -347,4 +615,130 @@ def coordinated_turn_problem(
             )
         )
     prior = GaussianPrior(mean=truth[0], cov=0.1 * np.eye(5))
+    return NonlinearProblem(steps, prior=prior), truth
+
+
+def bearings_only_tunnel_problem(
+    k: int,
+    dt: float = 0.1,
+    q: float = 0.05,
+    r: float = 0.015,
+    stations: tuple[tuple[float, float], ...] = ((-1.0, 1.0), (1.0, 1.0)),
+    seed: int = 0,
+) -> tuple[NonlinearProblem, np.ndarray]:
+    """Bearings-only tracking through a "tunnel" of fixed stations.
+
+    Constant-velocity state ``[px, py, vx, vy]``; the only observations
+    are bearings ``atan2(py - sy, px - sx)`` from each station — no
+    range.  Bearings change fastest (and the measurement is most
+    nonlinear) while the target passes under a station, which is where
+    single-pass Jacobian linearization visibly lags IPLS.  The default
+    geometry keeps the target below the stations so bearings stay in
+    ``(-pi, 0)`` and never wrap.  Returns ``(problem, true_states)``.
+    """
+    rng = np.random.default_rng(seed)
+    sxy = np.asarray(stations, dtype=float)
+    f_cv = np.eye(4)
+    f_cv[0, 2] = f_cv[1, 3] = dt
+
+    def evo_fn(x):
+        return f_cv @ x
+
+    def evo_jac(x):
+        return f_cv
+
+    def obs_fn(x):
+        return np.arctan2(x[1] - sxy[:, 1], x[0] - sxy[:, 0])
+
+    def obs_jac(x):
+        dx = x[0] - sxy[:, 0]
+        dy = x[1] - sxy[:, 1]
+        rho2 = dx * dx + dy * dy
+        jac = np.zeros((sxy.shape[0], 4))
+        jac[:, 0] = -dy / rho2
+        jac[:, 1] = dx / rho2
+        return jac
+
+    qcov = q * np.block(
+        [
+            [dt**3 / 3 * np.eye(2), dt**2 / 2 * np.eye(2)],
+            [dt**2 / 2 * np.eye(2), dt * np.eye(2)],
+        ]
+    )
+    qchol = np.linalg.cholesky(qcov + 1e-12 * np.eye(4))
+    truth = np.zeros((k + 1, 4))
+    truth[0] = [-2.0, 0.0, 0.7, 0.0]
+    steps: list[NonlinearStep] = []
+    for i in range(k + 1):
+        if i > 0:
+            truth[i] = evo_fn(truth[i - 1]) + qchol @ rng.standard_normal(4)
+        o = obs_fn(truth[i]) + np.sqrt(r) * rng.standard_normal(sxy.shape[0])
+        steps.append(
+            NonlinearStep(
+                state_dim=4,
+                evolution_fn=None
+                if i == 0
+                else NonlinearFunction(evo_fn, evo_jac),
+                evolution_cov=None if i == 0 else qcov + 1e-12 * np.eye(4),
+                observation_fn=NonlinearFunction(obs_fn, obs_jac),
+                observation=o,
+                observation_cov=r * np.eye(sxy.shape[0]),
+            )
+        )
+    prior = GaussianPrior(
+        mean=truth[0], cov=np.diag([0.5, 0.5, 0.2, 0.2])
+    )
+    return NonlinearProblem(steps, prior=prior), truth
+
+
+def cubic_sensor_problem(
+    k: int,
+    a: float = 0.98,
+    q: float = 0.02,
+    r: float = 0.01,
+    beta: float = 1.0,
+    seed: int = 0,
+) -> tuple[NonlinearProblem, np.ndarray]:
+    """The classic cubic sensor: scalar AR(1) state, ``x^3`` readout.
+
+    ``x_i = a x_{i-1} + eps`` observed through ``o = beta x^3 + delta``.
+    Near ``x = 0`` the Jacobian ``3 beta x^2`` vanishes, so point
+    linearization throws the measurement away exactly where the state
+    is hardest to pin down; sigma-point SLR keeps a useful slope from
+    the spread of the density.  Returns ``(problem, true_states)``.
+    """
+    rng = np.random.default_rng(seed)
+
+    def evo_fn(x):
+        return a * x
+
+    def evo_jac(x):
+        return np.array([[a]])
+
+    def obs_fn(x):
+        return np.array([beta * x[0] ** 3])
+
+    def obs_jac(x):
+        return np.array([[3.0 * beta * x[0] ** 2]])
+
+    truth = np.zeros((k + 1, 1))
+    truth[0] = 0.8
+    steps: list[NonlinearStep] = []
+    for i in range(k + 1):
+        if i > 0:
+            truth[i] = evo_fn(truth[i - 1]) + np.sqrt(q) * rng.standard_normal(1)
+        o = obs_fn(truth[i]) + np.sqrt(r) * rng.standard_normal(1)
+        steps.append(
+            NonlinearStep(
+                state_dim=1,
+                evolution_fn=None
+                if i == 0
+                else NonlinearFunction(evo_fn, evo_jac),
+                evolution_cov=None if i == 0 else q * np.eye(1),
+                observation_fn=NonlinearFunction(obs_fn, obs_jac),
+                observation=o,
+                observation_cov=r * np.eye(1),
+            )
+        )
+    prior = GaussianPrior(mean=truth[0], cov=0.5 * np.eye(1))
     return NonlinearProblem(steps, prior=prior), truth

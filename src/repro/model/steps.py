@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..linalg.cholesky import Whitener
+from ..linalg.triangular import as_working_dtype
 
 __all__ = ["Evolution", "Observation", "Step", "GaussianPrior"]
 
@@ -43,7 +44,7 @@ def _as_cov_whitener(cov, dim: int, what: str) -> Whitener:
                 f"{what} must be a positive variance, got {variance}"
             )
         return Whitener.scaled_identity(dim, float(np.sqrt(variance)))
-    return Whitener(np.asarray(cov, dtype=float), what=what)
+    return Whitener(np.asarray(cov), what=what)
 
 
 @dataclass
@@ -62,21 +63,24 @@ class Evolution:
     H: np.ndarray | None = None
 
     def __post_init__(self):
-        self.F = np.atleast_2d(np.asarray(self.F, dtype=float))
+        # Working-dtype coercion: float32 inputs stay float32 (the
+        # mixed-precision path depends on it), everything else is
+        # promoted to float64 exactly as the old dtype=float did.
+        self.F = as_working_dtype(np.atleast_2d(np.asarray(self.F)))
         rows = self.F.shape[0]
         if self.H is None:
-            self.H = np.eye(rows)
+            self.H = np.eye(rows, dtype=self.F.dtype)
         else:
-            self.H = np.atleast_2d(np.asarray(self.H, dtype=float))
+            self.H = as_working_dtype(np.atleast_2d(np.asarray(self.H)))
             if self.H.shape[0] != rows:
                 raise ValueError(
                     f"H has {self.H.shape[0]} rows, F has {rows}; the "
                     "evolution equation needs matching row counts"
                 )
         if self.c is None:
-            self.c = np.zeros(rows)
+            self.c = np.zeros(rows, dtype=self.F.dtype)
         else:
-            self.c = np.atleast_1d(np.asarray(self.c, dtype=float))
+            self.c = as_working_dtype(np.atleast_1d(np.asarray(self.c)))
             if self.c.shape != (rows,):
                 raise ValueError(
                     f"c has shape {self.c.shape}, expected ({rows},)"
@@ -112,8 +116,8 @@ class Observation:
     L: object = None
 
     def __post_init__(self):
-        self.G = np.atleast_2d(np.asarray(self.G, dtype=float))
-        self.o = np.atleast_1d(np.asarray(self.o, dtype=float))
+        self.G = as_working_dtype(np.atleast_2d(np.asarray(self.G)))
+        self.o = as_working_dtype(np.atleast_1d(np.asarray(self.o)))
         rows = self.G.shape[0]
         if self.o.shape != (rows,):
             raise ValueError(
@@ -145,7 +149,7 @@ class GaussianPrior:
     cov: object = None
 
     def __post_init__(self):
-        self.mean = np.atleast_1d(np.asarray(self.mean, dtype=float))
+        self.mean = as_working_dtype(np.atleast_1d(np.asarray(self.mean)))
         self.cov = _as_cov_whitener(
             self.cov, self.mean.shape[0], "prior covariance"
         )

@@ -1,7 +1,9 @@
 """Nonlinear smoothing via iterated linearization (paper §2.2, §5.4)."""
 
+from .batched import IterateState, drive_batched
 from .ekf import extended_kalman_filter
 from .gauss_newton import GaussNewtonSmoother, GaussNewtonTrace
+from .ipls import IPLSTrace, IteratedPosteriorLinearizationSmoother
 from .levenberg_marquardt import (
     LevenbergMarquardtSmoother,
     LMTrace,
@@ -10,8 +12,12 @@ from .levenberg_marquardt import (
 
 __all__ = [
     "extended_kalman_filter",
+    "drive_batched",
+    "IterateState",
     "GaussNewtonSmoother",
     "GaussNewtonTrace",
+    "IteratedPosteriorLinearizationSmoother",
+    "IPLSTrace",
     "LevenbergMarquardtSmoother",
     "LMTrace",
     "damp_problem",

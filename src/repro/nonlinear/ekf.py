@@ -22,12 +22,17 @@ __all__ = ["extended_kalman_filter"]
 
 def extended_kalman_filter(
     problem: NonlinearProblem,
-) -> list[np.ndarray]:
+    *,
+    return_covariances: bool = False,
+) -> list[np.ndarray] | tuple[list[np.ndarray], list[np.ndarray]]:
     """Run a forward EKF; returns the filtered means.
 
     Requires a prior (like every filter).  Covariances are tracked
-    internally but not returned — the nonlinear smoothers only need the
-    trajectory.  Linear :class:`~repro.model.problem.StateSpaceProblem`
+    internally; ``return_covariances=True`` returns
+    ``(means, covariances)`` — the posterior-linearization smoother
+    seeds its first statistical linearization from them — while the
+    default returns just the trajectory (all the Gauss–Newton family
+    needs).  Linear :class:`~repro.model.problem.StateSpaceProblem`
     inputs are lifted via :func:`~repro.model.nonlinear.as_nonlinear`
     (on them the EKF is exactly the Kalman filter).
     """
@@ -38,6 +43,7 @@ def extended_kalman_filter(
     m = np.asarray(problem.prior.mean, dtype=float)
     p = problem.prior.cov_matrix()
     means: list[np.ndarray] = []
+    covariances: list[np.ndarray] = []
     for i, step in enumerate(problem.steps):
         if i > 0:
             f_jac = step.evolution_fn.jac(m)
@@ -72,4 +78,8 @@ def extended_kalman_filter(
             )
             p = 0.5 * (p + p.T)
         means.append(m.copy())
+        if return_covariances:
+            covariances.append(p.copy())
+    if return_covariances:
+        return means, covariances
     return means

@@ -143,6 +143,13 @@ class GaussNewtonSmoother(SmootherBase):
     armijo_c, backtrack:
         Sufficient-decrease constant and step-shrink factor for the
         line search.
+    batch_inner:
+        Batched linear smoother for ``smooth_many``: each outer
+        iteration solves the linearized problems of every
+        not-yet-converged workload member in ONE stacked
+        ``smooth_many`` call (see
+        :func:`~repro.nonlinear.batched.drive_batched`).  Defaults to
+        ``BatchSmoother(method="odd-even")``.
     """
 
     name = "gauss-newton"
@@ -159,9 +166,15 @@ class GaussNewtonSmoother(SmootherBase):
         armijo_c: float = 1e-4,
         backtrack: float = 0.5,
         min_step: float = 1e-8,
+        batch_inner=None,
     ):
         inner = coerce_smoother(inner)
         self.inner = inner if inner is not None else OddEvenSmoother()
+        if batch_inner is None:
+            from ..batch.smoother import BatchSmoother
+
+            batch_inner = BatchSmoother(method="odd-even")
+        self.batch_inner = coerce_smoother(batch_inner)
         self.max_iterations = max_iterations
         self.tol = tol
         self.line_search = line_search
@@ -289,6 +302,119 @@ class GaussNewtonSmoother(SmootherBase):
             covariances=covariances,
             residual_sq=trace.objectives[-1],
             algorithm=f"gauss-newton[{getattr(self.inner, 'name', '?')}]",
+            diagnostics={
+                "iterations": trace.iterations,
+                "converged": trace.converged,
+                "trace": trace,
+            },
+        )
+
+    def smooth_many(
+        self,
+        problems,
+        backend: Backend | None = None,
+        *,
+        config: EstimatorConfig | None = None,
+    ) -> list[SmootherResult]:
+        """Batched Gauss–Newton: one stacked inner solve per iteration.
+
+        Every not-yet-converged problem's linearization joins a single
+        ``batch_inner.smooth_many`` call per outer iteration (the
+        per-problem line search and convergence tests are unchanged),
+        instead of the base class's loop of independent ``smooth``
+        calls.
+        """
+        from ..api.base import _cast_result
+        from .batched import drive_batched
+
+        config, _legacy = self._shim_legacy(backend, None, config)
+        problems = list(problems)
+        if not problems:
+            return []
+        resolved = self._resolve(problems[0], config)
+        for p in problems[1:]:
+            self._resolve(p, config)
+        return [
+            _cast_result(r, resolved.output_dtype)
+            for r in drive_batched(self, problems, resolved)
+        ]
+
+    # ------------------------------------------------------------------
+    # drive_batched hooks (see repro.nonlinear.batched)
+    # ------------------------------------------------------------------
+    def _batch_inner_covariance(self):
+        return _inner_nc(self.batch_inner)
+
+    def _batch_final_cov_pass(self) -> bool:
+        return True
+
+    def _batch_begin(self, problem, config, initial):
+        from .batched import IterateState
+
+        trajectory = (
+            [np.asarray(x, dtype=float) for x in initial]
+            if initial is not None
+            else self.initial_trajectory(problem)
+        )
+        state = IterateState(problem=problem, trajectory=trajectory)
+        trace = GaussNewtonTrace()
+        state.objective = problem.objective(trajectory)
+        trace.objectives.append(state.objective)
+        state.extra["trace"] = trace
+        return state
+
+    def _batch_emit(self, state, config):
+        from .batched import linearize_dtype
+
+        return state.problem.linearize(
+            state.trajectory, dtype=linearize_dtype(config)
+        )
+
+    _batch_emit_final = _batch_emit
+
+    def _batch_absorb(self, state, result, config) -> None:
+        trace: GaussNewtonTrace = state.extra["trace"]
+        trajectory = state.trajectory
+        means = [np.asarray(m, dtype=float) for m in result.means]
+        direction = [a - b for a, b in zip(means, trajectory)]
+        alpha = 1.0
+        new_traj = means
+        if self.line_search:
+            current_obj = state.objective
+            while alpha >= self.min_step:
+                candidate = [
+                    t + alpha * d for t, d in zip(trajectory, direction)
+                ]
+                cand_obj = state.problem.objective(candidate)
+                if cand_obj <= current_obj - self.armijo_c * alpha * sum(
+                    float(d @ d) for d in direction
+                ):
+                    new_traj = candidate
+                    break
+                alpha *= self.backtrack
+            else:
+                trace.converged = True
+                state.done = True
+                return
+        num = alpha * np.sqrt(sum(float(d @ d) for d in direction))
+        den = np.sqrt(sum(float(a @ a) for a in new_traj))
+        state.trajectory = new_traj
+        state.objective = state.problem.objective(new_traj)
+        trace.step_norms.append(num)
+        trace.objectives.append(state.objective)
+        if num <= self.tol * max(den, 1.0):
+            trace.converged = True
+            state.done = True
+
+    def _batch_result(self, state, covariances, config) -> SmootherResult:
+        trace: GaussNewtonTrace = state.extra["trace"]
+        return SmootherResult(
+            means=state.trajectory,
+            covariances=covariances,
+            residual_sq=trace.objectives[-1],
+            algorithm=(
+                f"gauss-newton[{getattr(self.batch_inner, 'name', '?')}]"
+            ),
             diagnostics={
                 "iterations": trace.iterations,
                 "converged": trace.converged,

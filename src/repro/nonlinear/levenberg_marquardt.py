@@ -124,9 +124,15 @@ class LevenbergMarquardtSmoother(SmootherBase):
         lambda_up: float = 10.0,
         lambda_down: float = 0.1,
         max_lambda: float = 1e12,
+        batch_inner=None,
     ):
         inner = coerce_smoother(inner)
         self.inner = inner if inner is not None else OddEvenSmoother()
+        if batch_inner is None:
+            from ..batch.smoother import BatchSmoother
+
+            batch_inner = BatchSmoother(method="odd-even")
+        self.batch_inner = coerce_smoother(batch_inner)
         self.max_iterations = max_iterations
         self.tol = tol
         self.lambda0 = lambda0
@@ -247,6 +253,127 @@ class LevenbergMarquardtSmoother(SmootherBase):
                 "iterations": trace.iterations,
                 "converged": trace.converged,
                 "final_lambda": lam,
+                "trace": trace,
+            },
+        )
+
+    def smooth_many(
+        self,
+        problems,
+        backend: Backend | None = None,
+        *,
+        config: EstimatorConfig | None = None,
+    ) -> list[SmootherResult]:
+        """Batched LM: one stacked damped solve per outer iteration.
+
+        Each problem keeps its own damping schedule and accept/reject
+        decisions; only the inner linear solves are stacked (see
+        :func:`~repro.nonlinear.batched.drive_batched`).
+        """
+        from ..api.base import _cast_result
+        from .batched import drive_batched
+
+        config, _legacy = self._shim_legacy(backend, None, config)
+        problems = list(problems)
+        if not problems:
+            return []
+        resolved = self._resolve(problems[0], config)
+        for p in problems[1:]:
+            self._resolve(p, config)
+        return [
+            _cast_result(r, resolved.output_dtype)
+            for r in drive_batched(self, problems, resolved)
+        ]
+
+    # ------------------------------------------------------------------
+    # drive_batched hooks (see repro.nonlinear.batched)
+    # ------------------------------------------------------------------
+    def _batch_inner_covariance(self):
+        return _inner_nc(self.batch_inner)
+
+    def _batch_final_cov_pass(self) -> bool:
+        return True
+
+    def _batch_begin(self, problem, config, initial):
+        from .batched import IterateState
+
+        trajectory = (
+            [np.asarray(x, dtype=float) for x in initial]
+            if initial is not None
+            else extended_kalman_filter(problem)
+        )
+        state = IterateState(problem=problem, trajectory=trajectory)
+        trace = LMTrace()
+        state.objective = problem.objective(trajectory)
+        trace.objectives.append(state.objective)
+        state.extra["trace"] = trace
+        state.extra["lam"] = self.lambda0
+        return state
+
+    def _batch_emit(self, state, config):
+        from .batched import linearize_dtype
+
+        linear = state.problem.linearize(
+            state.trajectory, dtype=linearize_dtype(config)
+        )
+        return damp_problem(linear, state.trajectory, state.extra["lam"])
+
+    def _batch_emit_final(self, state, config):
+        from .batched import linearize_dtype
+
+        return state.problem.linearize(
+            state.trajectory, dtype=linearize_dtype(config)
+        )
+
+    def _batch_absorb(self, state, result, config) -> None:
+        trace: LMTrace = state.extra["trace"]
+        lam = state.extra["lam"]
+        candidate = [np.asarray(m, dtype=float) for m in result.means]
+        new_obj = state.problem.objective(candidate)
+        current_obj = state.objective
+        if new_obj <= current_obj:
+            step_norm = np.sqrt(
+                sum(
+                    float((a - b) @ (a - b))
+                    for a, b in zip(candidate, state.trajectory)
+                )
+            )
+            state.trajectory = candidate
+            improvement = current_obj - new_obj
+            state.objective = new_obj
+            lam = max(lam * self.lambda_down, 1e-12)
+            trace.accepted.append(True)
+            trace.objectives.append(new_obj)
+            trace.lambdas.append(lam)
+            scale = np.sqrt(sum(float(a @ a) for a in candidate))
+            if step_norm <= self.tol * max(scale, 1.0) or (
+                improvement <= self.tol * max(new_obj, 1.0)
+            ):
+                trace.converged = True
+                state.done = True
+        else:
+            lam *= self.lambda_up
+            trace.accepted.append(False)
+            trace.objectives.append(current_obj)
+            trace.lambdas.append(lam)
+            if lam > self.max_lambda:
+                state.done = True
+        state.extra["lam"] = lam
+
+    def _batch_result(self, state, covariances, config) -> SmootherResult:
+        trace: LMTrace = state.extra["trace"]
+        return SmootherResult(
+            means=state.trajectory,
+            covariances=covariances,
+            residual_sq=state.objective,
+            algorithm=(
+                "levenberg-marquardt"
+                f"[{getattr(self.batch_inner, 'name', '?')}]"
+            ),
+            diagnostics={
+                "iterations": trace.iterations,
+                "converged": trace.converged,
+                "final_lambda": state.extra["lam"],
                 "trace": trace,
             },
         )

@@ -116,6 +116,15 @@ class FixedLagSmoother:
         self.auto_emit = auto_emit
         self.compute_covariance = compute_covariance
         self._smoother = coerce_smoother(smoother)
+        caps = getattr(self._smoother, "capabilities", None)
+        if caps is not None and getattr(caps, "iterative", False):
+            raise ValueError(
+                f"smoother {getattr(self._smoother, 'name', self._smoother)!r} "
+                "is an iterated nonlinear smoother (capability "
+                "iterative=True) and cannot back a fixed-lag window — "
+                "the window problems are linear; pass a linear "
+                "smoother (or None for the default window solver)"
+            )
         self._uk = UltimateKalman(state_dim, prior=prior)
         self._queue: list[Emission] = []
         self._closed = False

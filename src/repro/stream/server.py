@@ -194,6 +194,15 @@ class StreamServer:
         # smoother that cannot honor it must be rejected up front.
         caps = getattr(self._smoother, "capabilities", None)
         if caps is not None:
+            if getattr(caps, "iterative", False):
+                raise ValueError(
+                    f"smoother {getattr(self._smoother, 'name', self._smoother)!r} "
+                    "is an iterated nonlinear smoother (capability "
+                    "iterative=True) and cannot serve streaming windows "
+                    "— the server solves *linear* window problems; "
+                    "linearize upstream and serve with a linear batch "
+                    "smoother instead"
+                )
             if not compute_covariance and not caps.supports_nc:
                 raise ValueError(
                     f"smoother {getattr(self._smoother, 'name', self._smoother)!r} "

@@ -22,6 +22,7 @@ from repro.api import EstimatorConfig
 SUITE_OPTIONS = {
     "gauss-newton": {"tol": 1e-13},
     "levenberg-marquardt": {"tol": 1e-13, "max_iterations": 200},
+    "ipls": {"tol": 1e-13, "obj_tol": 0.0},
 }
 
 TOL = 1e-8

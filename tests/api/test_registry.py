@@ -22,6 +22,7 @@ EXPECTED = [
     "batch-associative",
     "batch-odd-even",
     "gauss-newton",
+    "ipls",
     "kalman-rts",
     "levenberg-marquardt",
     "normal-equations",

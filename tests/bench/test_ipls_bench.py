@@ -1,0 +1,55 @@
+"""Smoke tests for the batched iterated-smoother benchmark."""
+
+import json
+
+from repro.bench.harness import results_dir
+from repro.bench.ipls import ipls_throughput, main
+
+
+class TestIPLSThroughput:
+    def test_quick_sweep_record_shape(self):
+        record = ipls_throughput(
+            fleet_sizes=(1, 3),
+            scenario="pendulum",
+            k=10,
+            repeats=1,
+            result_name="_test_ipls_throughput",
+        )
+        assert [r["fleet"] for r in record["rows"]] == [1, 3]
+        for row in record["rows"]:
+            assert row["batched_seconds"] > 0
+            assert row["looped_seconds"] > 0
+            assert row["iterations_max"] >= row["iterations_min"] >= 1
+            assert row["speedup"] == (
+                row["looped_seconds"] / row["batched_seconds"]
+            )
+        path = results_dir() / "_test_ipls_throughput.json"
+        assert path.exists()
+        persisted = json.loads(path.read_text())
+        assert persisted["workload"]["scenario"] == "pendulum"
+        path.unlink()
+
+    def test_solve_counts_pin_the_batching_contract(self):
+        """Sigma-point IPLS issues exactly max(iterations) stacked
+        solves batched, and sum(iterations) looped."""
+        record = ipls_throughput(
+            fleet_sizes=(4,),
+            scenario="pendulum",
+            k=10,
+            repeats=1,
+            result_name="_test_ipls_solves",
+        )
+        row = record["rows"][0]
+        assert row["batched_stacked_solves"] == row["iterations_max"]
+        assert row["batched_stacked_solves"] < row["looped_stacked_solves"]
+        (results_dir() / "_test_ipls_solves.json").unlink()
+
+    def test_main_quick_mode(self, capsys):
+        main(["--quick"])
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert "speedup" in out
+        assert "stacked solves" in out
+        quick = results_dir() / "ipls_throughput_quick.json"
+        assert quick.exists()
+        quick.unlink()

@@ -98,6 +98,22 @@ class TestConstructionConflicts:
         with pytest.raises(ValueError, match="means only"):
             StreamServer(2, smoother="normal-equations")
 
+    @pytest.mark.parametrize(
+        "name", ["ipls", "gauss-newton", "levenberg-marquardt"]
+    )
+    def test_iterative_smoother_rejected_at_construction(self, name):
+        """Iterated nonlinear smoothers solve a different problem
+        shape (re-linearized outer loops) and must be refused up
+        front, not crash mid-serve on the first window flush."""
+        with pytest.raises(ValueError, match="iterative"):
+            StreamServer(2, smoother=name)
+
+    def test_iterative_smoother_rejected_by_fixed_lag(self):
+        from repro.stream import FixedLagSmoother
+
+        with pytest.raises(ValueError, match="iterative"):
+            FixedLagSmoother(2, 2, smoother="ipls")
+
 
 class TestDtypeForwarding:
     def test_mixed_precision_serving_matches_default(self):

@@ -30,6 +30,7 @@ EXPECTED_ALL = [
     "AssociativeSmoother",
     "BatchSmoother",
     "GaussNewtonSmoother",
+    "IteratedPosteriorLinearizationSmoother",
     "KalmanFilter",
     "LevenbergMarquardtSmoother",
     "NormalEquationsSmoother",
@@ -64,12 +65,16 @@ EXPECTED_ALL = [
     # model construction
     "Evolution",
     "GaussianPrior",
+    "JacobianLinearizer",
     "NonlinearProblem",
     "Observation",
+    "SigmaPointLinearizer",
     "StateSpaceProblem",
     "Step",
     "as_nonlinear",
+    "bearings_only_tunnel_problem",
     "constant_velocity_problem",
+    "cubic_sensor_problem",
     "dense_covariance",
     "dense_solve",
     "pendulum_problem",
@@ -98,6 +103,7 @@ EXPECTED_REGISTRY = [
     "batch-associative",
     "batch-odd-even",
     "gauss-newton",
+    "ipls",
     "kalman-rts",
     "levenberg-marquardt",
     "normal-equations",
